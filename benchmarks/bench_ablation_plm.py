@@ -1,0 +1,80 @@
+"""Ablation (§III-B/C) — PLM design choices.
+
+* resolution parameter gamma: community count must grow monotonically with
+  gamma (0 -> one community, large gamma -> fine fragments);
+* refinement: PLMR's extra move phase must not lose quality and costs a
+  bounded time premium;
+* grain of the simulated race window: quality must be robust across commit
+  granularities (the paper's stale-data argument).
+"""
+
+import numpy as np
+
+from repro.bench.datasets import load_dataset
+from repro.bench.report import format_table, write_report
+from repro.community import PLM, PLMR
+from repro.partition.quality import modularity
+
+
+def test_ablation_plm_gamma(benchmark):
+    graph = load_dataset("PGPgiantcompo")
+    gammas = [0.0, 0.5, 1.0, 2.0, 5.0]
+
+    def sweep():
+        return [
+            PLM(threads=32, gamma=g, seed=15).run(graph).partition.k
+            for g in gammas
+        ]
+
+    ks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["gamma", "communities"],
+        list(zip([f"{g:g}" for g in gammas], ks)),
+        title=f"Ablation: PLM resolution parameter on {graph.name}",
+    )
+    write_report("ablation_plm_gamma", table)
+
+    assert ks[0] <= 3, "gamma=0 must collapse to (almost) one community"
+    assert all(a <= b * 1.2 for a, b in zip(ks, ks[1:])), (
+        "community count must (weakly) grow with gamma"
+    )
+    assert ks[-1] > ks[2], "large gamma must refine the resolution"
+
+
+def test_ablation_plm_refinement(benchmark):
+    networks = ["PGPgiantcompo", "caidaRouterLevel", "eu-2005"]
+
+    def sweep():
+        out = []
+        for name in networks:
+            graph = load_dataset(name)
+            plm = PLM(threads=32, seed=16).run(graph)
+            plmr = PLMR(threads=32, seed=16).run(graph)
+            out.append(
+                (
+                    name,
+                    modularity(graph, plm.partition),
+                    modularity(graph, plmr.partition),
+                    plm.timing.total,
+                    plmr.timing.total,
+                )
+            )
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["network", "PLM mod", "PLMR mod", "PLM time", "PLMR time"],
+        [
+            (n, round(a, 4), round(b, 4), round(ta, 4), round(tb, 4))
+            for n, a, b, ta, tb in rows
+        ],
+        title="Ablation: refinement phase (PLM vs PLMR)",
+    )
+    write_report("ablation_plm_refinement", table)
+
+    for name, plm_mod, plmr_mod, plm_t, plmr_t in rows:
+        assert plmr_mod >= plm_mod - 5e-3, f"refinement lost quality on {name}"
+        assert plmr_t <= plm_t * 3.0, f"refinement cost exploded on {name}"
+    # On average refinement helps.
+    gains = [b - a for _, a, b, _, _ in rows]
+    assert np.mean(gains) >= -1e-4

@@ -1,0 +1,77 @@
+"""Extension — incremental label propagation on a dynamic network.
+
+The paper's framework was funded by a dynamic-network-analysis project and
+names dynamic methods as future work; this bench quantifies the extension:
+after batches of edge updates, incremental DPLP must match from-scratch
+PLP quality at a fraction of the simulated time, with the advantage
+shrinking as batches grow.
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table, write_report
+from repro.community import PLP, DynamicPLP
+from repro.graph import DynamicGraph, generators
+from repro.partition.quality import modularity
+
+BATCH_SIZES = [10, 100, 1000]
+
+
+def _apply_batch(dyn, truth, batch, rng):
+    """Random mix of intra-community insertions and random deletions."""
+    for _ in range(batch):
+        if rng.random() < 0.7:
+            c = rng.integers(0, truth.max() + 1)
+            members = np.flatnonzero(truth == c)
+            u, v = rng.choice(members, 2, replace=False)
+            if not dyn.has_edge(int(u), int(v)):
+                dyn.add_edge(int(u), int(v))
+        else:
+            u = int(rng.integers(0, dyn.n))
+            nbrs = list(dyn.neighbors(u))
+            if nbrs:
+                dyn.remove_edge(u, int(nbrs[rng.integers(0, len(nbrs))]))
+
+
+def test_ext_dynamic_updates(benchmark):
+    graph, truth = generators.planted_partition(8000, 80, 0.1, 0.0008, seed=30)
+
+    def sweep():
+        rows = []
+        for batch in BATCH_SIZES:
+            rng = np.random.default_rng(batch)
+            dyn = DynamicGraph.from_graph(graph)
+            dplp = DynamicPLP(threads=32, seed=5)
+            dplp.run(graph)
+            _apply_batch(dyn, truth, batch, rng)
+            snapshot = dyn.freeze()
+            events = dyn.drain_events()
+            inc = dplp.update(snapshot, events)
+            scratch = PLP(threads=32, seed=5).run(snapshot)
+            rows.append(
+                (
+                    batch,
+                    round(modularity(snapshot, inc.partition), 4),
+                    round(modularity(snapshot, scratch.partition), 4),
+                    round(inc.timing.total * 1e3, 3),
+                    round(scratch.timing.total * 1e3, 3),
+                    round(scratch.timing.total / inc.timing.total, 1),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["batch size", "DPLP mod", "PLP mod", "DPLP ms", "PLP ms", "speedup"],
+        rows,
+        title="Extension: incremental vs from-scratch label propagation",
+    )
+    write_report("ext_dynamic_updates", table)
+
+    for batch, inc_mod, scr_mod, inc_t, scr_t, speedup in rows:
+        # Quality parity with from-scratch detection.
+        assert inc_mod > scr_mod - 0.05
+    # Small batches must be dramatically cheaper than recomputation.
+    assert rows[0][5] > 3.0
+    # The advantage shrinks (or at least does not grow) with batch size.
+    assert rows[-1][3] >= rows[0][3]

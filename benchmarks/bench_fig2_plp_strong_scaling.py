@@ -1,0 +1,47 @@
+"""Figure 2 — PLP strong scaling on the uk-2007-05 web graph.
+
+Paper shape: ~8x speedup at 32 threads on 16 physical cores; a sub-linear
+1 -> 2 step (turbo frequency loss + OpenMP overhead) and a flattening
+16 -> 32 step (hyperthreading).
+"""
+
+from repro.bench.datasets import load_dataset
+from repro.bench.report import format_table, write_report
+from repro.community import PLP
+from repro.parallel.metrics import strong_scaling_table
+
+THREADS = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig2_plp_strong_scaling(benchmark):
+    graph = load_dataset("uk-2007-05")
+
+    def sweep():
+        return strong_scaling_table(
+            lambda t: PLP(threads=t, seed=2).run(graph).timing.total, THREADS
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (p.threads, round(p.time, 4), round(p.speedup, 2), round(p.efficiency, 2))
+        for p in points
+    ]
+    table = format_table(
+        ["threads", "sim time (s)", "speedup", "efficiency"],
+        rows,
+        title=f"Figure 2: PLP strong scaling on {graph.name} "
+        f"(m={graph.m})",
+    )
+    write_report("fig2_plp_strong_scaling", table)
+
+    by_threads = {p.threads: p for p in points}
+    # Paper: overall speedup around 8 at 32 threads.
+    assert 4.0 <= by_threads[32].speedup <= 16.0
+    # Sub-linear first step (turbo + parallel overhead).
+    assert by_threads[2].speedup < 2.0
+    # Monotone improvement up to the full machine.
+    assert by_threads[32].time <= by_threads[16].time <= by_threads[4].time
+    # Hyperthreading step is the flattest part of the curve.
+    ht_gain = by_threads[32].speedup / by_threads[16].speedup
+    base_gain = by_threads[8].speedup / by_threads[4].speedup
+    assert ht_gain < base_gain

@@ -1,0 +1,39 @@
+"""Figure 3 — PLM strong scaling on the uk-2007-05 web graph.
+
+Paper shape: ~12x speedup at 32 threads (better than PLP because both the
+move phase and the coarsening are parallel and the arithmetic intensity is
+higher), same turbo dip and hyperthreading knee.
+"""
+
+from repro.bench.datasets import load_dataset
+from repro.bench.report import format_table, write_report
+from repro.community import PLM
+from repro.parallel.metrics import strong_scaling_table
+
+THREADS = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig3_plm_strong_scaling(benchmark):
+    graph = load_dataset("uk-2007-05")
+
+    def sweep():
+        return strong_scaling_table(
+            lambda t: PLM(threads=t, seed=2).run(graph).timing.total, THREADS
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (p.threads, round(p.time, 4), round(p.speedup, 2), round(p.efficiency, 2))
+        for p in points
+    ]
+    table = format_table(
+        ["threads", "sim time (s)", "speedup", "efficiency"],
+        rows,
+        title=f"Figure 3: PLM strong scaling on {graph.name} (m={graph.m})",
+    )
+    write_report("fig3_plm_strong_scaling", table)
+
+    by_threads = {p.threads: p for p in points}
+    # Paper: around 12x at 32 threads.
+    assert 6.0 <= by_threads[32].speedup <= 24.0
+    assert by_threads[32].time <= by_threads[16].time <= by_threads[4].time

@@ -1,0 +1,52 @@
+"""Figure 5 — Pareto evaluation of all community detection algorithms.
+
+Condenses the run matrix into one (time score, modularity score) point per
+algorithm: geometric-mean time ratio vs PLM and arithmetic-mean modularity
+difference vs PLM.
+
+Paper shape asserted: PLP is unrivalled in time; the RG family has the
+best modularity scores while being by far the most expensive; PLM and
+PLMR sit near the lower-right sweet spot; all algorithms except CEL are
+close to the Pareto frontier, CEL is dominated.
+"""
+
+from repro.bench.pareto import pareto_frontier, pareto_scores
+from repro.bench.report import format_table, write_report
+
+
+def test_fig5_pareto_evaluation(matrix, benchmark):
+    points = benchmark(lambda: pareto_scores(matrix, baseline="PLM"))
+    frontier = {p.algorithm for p in pareto_frontier(points)}
+    by_alg = {p.algorithm: p for p in points}
+    rows = [
+        (
+            p.algorithm,
+            round(p.time_score, 3),
+            round(p.mod_score, 4),
+            "yes" if p.algorithm in frontier else "no",
+        )
+        for p in sorted(points, key=lambda p: p.time_score)
+    ]
+    table = format_table(
+        ["algorithm", "time score (geo mean vs PLM)",
+         "mod score (mean diff vs PLM)", "on frontier"],
+        rows,
+        title="Figure 5: Pareto evaluation (baseline PLM = 1.0 / 0.0)",
+    )
+    write_report("fig5_pareto", table)
+
+    # PLP is unrivalled in time to solution.
+    assert by_alg["PLP"].time_score == min(p.time_score for p in points)
+    assert "PLP" in frontier
+    # The RG family tops the quality axis.
+    best_mod = max(p.mod_score for p in points)
+    assert max(
+        by_alg["RG"].mod_score,
+        by_alg["CGGC"].mod_score,
+        by_alg["CGGCi"].mod_score,
+    ) == best_mod
+    # PLM / PLMR are not dominated (the recommended defaults).
+    assert "PLM" in frontier or "PLMR" in frontier
+    # CEL is dominated: strictly worse than CLU in quality and not faster.
+    assert by_alg["CEL"].mod_score < by_alg["CLU"].mod_score
+    assert "CEL" not in frontier

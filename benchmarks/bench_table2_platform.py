@@ -1,0 +1,17 @@
+"""Table II — the experimental platform (simulated machine model)."""
+
+from repro.bench.report import write_report
+from repro.parallel.machine import PAPER_MACHINE
+
+
+def test_table2_platform(benchmark):
+    description = benchmark(PAPER_MACHINE.describe)
+    write_report("table2_platform", "Table II: platform\n" + description)
+
+    assert PAPER_MACHINE.physical_cores == 16
+    assert PAPER_MACHINE.hardware_threads == 32
+    assert PAPER_MACHINE.base_freq_ghz == 2.7
+    # Turbo model: single-thread boost, monotone decline with active cores.
+    freqs = [PAPER_MACHINE.effective_frequency(c) for c in (1, 2, 8, 16)]
+    assert freqs == sorted(freqs, reverse=True)
+    assert freqs[0] == PAPER_MACHINE.turbo_freq_ghz

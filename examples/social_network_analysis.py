@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: interactive community analysis of a social network.
+
+The paper's target user is a data analyst on a multicore workstation who
+needs communities in minutes, not hours. This example walks that workflow
+on a social-network stand-in:
+
+1. compare the speed/quality trade-off of the algorithm portfolio,
+2. tune the resolution parameter gamma to the analysis granularity,
+3. profile the detected communities (sizes, internal density),
+4. visualize structure cheaply via the community graph (paper Fig. 11).
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import EPP, PLM, PLMR, PLP, coarsen, generators, modularity
+from repro.partition.quality import coverage
+
+
+def main() -> None:
+    # Social-network stand-in: preferential attachment + triad formation
+    # (hubs, high clustering), like the PGP web of trust.
+    graph = generators.holme_kim(8000, 3, 0.5, seed=7)
+    print(f"analyzing {graph}")
+
+    # --- 1. algorithm portfolio ---------------------------------------
+    print("\n== algorithm portfolio (32 simulated threads) ==")
+    print(f"{'algorithm':18s} {'k':>6s} {'modularity':>10s} {'sim time':>10s}")
+    for alg in (
+        PLP(threads=32),
+        EPP(threads=32),
+        PLM(threads=32),
+        PLMR(threads=32),
+    ):
+        result = alg.run(graph)
+        print(
+            f"{alg.name:18s} {result.partition.k:6d} "
+            f"{modularity(graph, result.partition):10.4f} "
+            f"{result.timing.total * 1e3:8.2f}ms"
+        )
+
+    # --- 2. resolution tuning -------------------------------------------
+    print("\n== resolution sweep (PLM gamma) ==")
+    for gamma in (0.5, 1.0, 2.0, 5.0):
+        result = PLM(threads=32, gamma=gamma).run(graph)
+        sizes = result.partition.sizes()
+        print(
+            f"gamma={gamma:4.1f}: {result.partition.k:5d} communities, "
+            f"median size {int(np.median(sizes)):5d}, largest {sizes.max():6d}"
+        )
+
+    # --- 3. community profile --------------------------------------------
+    result = PLM(threads=32).run(graph)
+    part = result.partition
+    sizes = part.sizes()
+    print("\n== community profile (PLM, gamma=1) ==")
+    print(f"communities: {part.k}")
+    print(f"coverage:    {coverage(graph, part):.3f} "
+          "(fraction of edges inside communities)")
+    print(f"size deciles: {np.percentile(sizes, [10, 50, 90]).astype(int)}")
+
+    # --- 4. community graph ---------------------------------------------
+    community_graph = coarsen(graph, part.labels).graph
+    print("\n== community graph (for visualization) ==")
+    print(f"{graph.n} nodes -> {community_graph.n} supernodes, "
+          f"{graph.m} edges -> {community_graph.m} superedges")
+    print("supernode self-loop weight = internal edge mass; "
+          "draw node sizes by community size (paper Fig. 11)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scenario: maintaining communities on an evolving network.
+
+Networks in production are rarely static — edges arrive and disappear.
+This example maintains a community structure across update batches with
+incremental label propagation (DynamicPLP), comparing each refresh against
+from-scratch detection.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import numpy as np
+
+from repro import PLP, DynamicGraph, DynamicPLP, generators, modularity
+
+
+def main() -> None:
+    graph, truth = generators.planted_partition(5000, 50, 0.12, 0.001, seed=9)
+    print(f"initial network: {graph}")
+
+    dyn = DynamicGraph.from_graph(graph)
+    dplp = DynamicPLP(threads=32, seed=1)
+    result = dplp.run(graph)
+    print(
+        f"initial detection: {result.partition.k} communities, "
+        f"modularity {modularity(graph, result.partition):.4f}, "
+        f"{result.timing.total * 1e3:.2f}ms simulated\n"
+    )
+
+    rng = np.random.default_rng(2)
+    print(f"{'batch':>5s} {'events':>7s} {'k':>5s} {'modularity':>10s} "
+          f"{'DPLP ms':>8s} {'scratch ms':>10s} {'speedup':>8s}")
+    for batch in range(1, 6):
+        # A burst of activity: new intra-community links + random churn.
+        for _ in range(80):
+            c = rng.integers(0, 50)
+            members = np.flatnonzero(truth == c)
+            u, v = rng.choice(members, 2, replace=False)
+            if not dyn.has_edge(int(u), int(v)):
+                dyn.add_edge(int(u), int(v))
+        for _ in range(20):
+            u = int(rng.integers(0, dyn.n))
+            nbrs = list(dyn.neighbors(u))
+            if nbrs:
+                dyn.remove_edge(u, int(nbrs[rng.integers(0, len(nbrs))]))
+
+        snapshot = dyn.freeze()
+        events = dyn.drain_events()
+        refreshed = dplp.update(snapshot, events)
+        scratch = PLP(threads=32, seed=1).run(snapshot)
+        speedup = scratch.timing.total / max(refreshed.timing.total, 1e-12)
+        print(
+            f"{batch:5d} {len(events):7d} {refreshed.partition.k:5d} "
+            f"{modularity(snapshot, refreshed.partition):10.4f} "
+            f"{refreshed.timing.total * 1e3:8.3f} "
+            f"{scratch.timing.total * 1e3:10.3f} {speedup:7.1f}x"
+        )
+
+    print("\nincremental refreshes track from-scratch quality at a fraction "
+          "of the cost — the dynamic-network extension of the framework")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — parallel community detection for massive networks.
+
+A faithful Python reimplementation of Staudt & Meyerhenke, *Engineering
+Parallel Algorithms for Community Detection in Massive Networks*: the PLP /
+PLM / PLMR / EPP algorithm family, every substrate they depend on (CSR
+graphs, coarsening, partition quality machinery, an OpenMP-like simulated
+shared-memory runtime), the competitor baselines of the paper's evaluation,
+and generators plus a benchmark harness that regenerates every table and
+figure. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quick start::
+
+    from repro import generators, PLM, modularity
+
+    graph, truth = generators.planted_partition(1000, 10, 0.1, 0.005, seed=1)
+    result = PLM(threads=8).run(graph)
+    print(result.partition.k, modularity(graph, result.partition))
+    print(f"{result.timing.total:.3f} simulated seconds")
+"""
+
+from repro.graph import (
+    DynamicGraph,
+    Graph,
+    GraphBuilder,
+    from_edges,
+    coarsen,
+    prolong,
+    generators,
+    lfr_graph,
+    summarize,
+)
+from repro.parallel import Machine, PAPER_MACHINE, ParallelRuntime
+from repro.partition import (
+    Partition,
+    modularity,
+    coverage,
+    jaccard_index,
+    jaccard_dissimilarity,
+    normalized_mutual_information,
+    adjusted_rand_index,
+)
+from repro.community import (
+    CommunityDetector,
+    DetectionResult,
+    DynamicPLP,
+    PLP,
+    PLM,
+    PLMR,
+    EPP,
+    Louvain,
+    CLU,
+    CEL,
+    CNM,
+    RG,
+    CGGC,
+    CGGCi,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DynamicGraph",
+    "GraphBuilder",
+    "from_edges",
+    "coarsen",
+    "prolong",
+    "generators",
+    "lfr_graph",
+    "summarize",
+    "Machine",
+    "PAPER_MACHINE",
+    "ParallelRuntime",
+    "Partition",
+    "modularity",
+    "coverage",
+    "jaccard_index",
+    "jaccard_dissimilarity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "CommunityDetector",
+    "DetectionResult",
+    "PLP",
+    "DynamicPLP",
+    "PLM",
+    "PLMR",
+    "EPP",
+    "Louvain",
+    "CLU",
+    "CEL",
+    "CNM",
+    "RG",
+    "CGGC",
+    "CGGCi",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Benchmark harness: dataset registry, experiment runner, Pareto scoring.
+
+These are the building blocks the ``benchmarks/`` suite uses to regenerate
+every table and figure of the paper's evaluation (see DESIGN.md §3 for the
+experiment index).
+"""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, load_dataset, main_suite
+from repro.bench.harness import (
+    ExperimentRow,
+    aggregate_rows,
+    relative_to_baseline,
+    run_matrix,
+)
+from repro.bench.pareto import ParetoPoint, pareto_frontier, pareto_scores
+from repro.bench.report import format_table, write_report
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "main_suite",
+    "ExperimentRow",
+    "run_matrix",
+    "aggregate_rows",
+    "relative_to_baseline",
+    "ParetoPoint",
+    "pareto_scores",
+    "pareto_frontier",
+    "format_table",
+    "write_report",
+]

@@ -1,0 +1,231 @@
+"""The benchmark network suite — synthetic stand-ins for Table I.
+
+The paper's test set spans web graphs, internet topologies, social networks,
+co-authorship networks, a power grid, a road network and synthetic
+instances. The multi-gigabyte originals are not available offline, so each
+instance class is represented by a generator configured to reproduce the
+*structural profile* that drives algorithm behaviour: degree skew
+(load-balancing stress), clustering (LCC), community strength, diameter.
+Sizes are scaled so the pure-Python suite runs in minutes; the paper's
+original n/m are recorded for reference in each spec.
+
+``main_suite()`` returns the 13 networks used for Figures 4-7 (the paper's
+comparable set); ``uk-2007-05`` (the massive §V-H instance) is loaded
+separately by the Figure 9 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.graph import generators
+from repro.graph.csr import Graph
+from repro.graph.lfr import lfr_graph
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "main_suite"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark network.
+
+    Attributes
+    ----------
+    name:
+        The paper's instance name (the stand-in keeps it for reporting).
+    category:
+        Structural class the generator reproduces.
+    paper_n / paper_m:
+        Size of the original instance (Table I), for the record.
+    build:
+        Zero-argument factory returning the stand-in graph.
+    in_main_suite:
+        Part of the 13-network comparison set (Figures 4-7).
+    """
+
+    name: str
+    category: str
+    paper_n: int
+    paper_m: int
+    build: Callable[[], Graph]
+    in_main_suite: bool = True
+
+
+def _named(graph: Graph, name: str) -> Graph:
+    """Re-brand a generated graph with the suite name."""
+    return Graph(graph.indptr, graph.indices, graph.weights, name=name)
+
+
+def _power() -> Graph:
+    # Small sparse grid-like network: near-uniform tiny degrees, m ~ 1.3 n.
+    return _named(generators.watts_strogatz(4941, 2, 0.15, seed=101), "power")
+
+
+def _pgp() -> Graph:
+    # Web of trust: hubs + moderate clustering, strong communities.
+    return _named(generators.holme_kim(5340, 2, 0.6, seed=102), "PGPgiantcompo")
+
+
+def _as22() -> Graph:
+    # AS-level internet: heavy-tailed degrees, moderate clustering.
+    return _named(generators.holme_kim(7500, 2, 0.35, seed=103), "as-22july06")
+
+
+def _gnp() -> Graph:
+    # The paper's own synthetic class: planted partition with weak but
+    # present community structure (avg degree ~10).
+    graph, _ = generators.planted_partition(
+        16000, 32, 0.0105, 0.00031, seed=104
+    )
+    return _named(graph, "G_n_pin_pout")
+
+
+def _caida() -> Graph:
+    # Router-level internet: hubs + some clustering (triad formation).
+    return _named(generators.holme_kim(16000, 2, 0.3, seed=105), "caidaRouterLevel")
+
+
+def _coauthors() -> Graph:
+    # Co-authorship: papers are cliques of authors -> very high LCC.
+    return _named(
+        generators.affiliation(14000, 11000, 4.0, 0.3, seed=106),
+        "coAuthorsCiteseer",
+    )
+
+
+def _skitter() -> Graph:
+    # Large traceroute topology: strong degree skew, moderate clustering.
+    return _named(generators.holme_kim(24000, 4, 0.45, seed=107), "as-Skitter")
+
+
+def _copapers() -> Graph:
+    # Citation-derived clique cover, denser than coAuthors (LCC ~ 0.8).
+    return _named(
+        generators.affiliation(16000, 7000, 7.0, 0.25, seed=108), "coPapersDBLP"
+    )
+
+
+def _eu2005() -> Graph:
+    # Crawled web graph: strong host-level communities, high clustering,
+    # heavy-tailed degrees (LFR profile with low mixing).
+    return _named(
+        lfr_graph(
+            20000,
+            avg_degree=18.0,
+            max_degree=400,
+            mu=0.12,
+            min_community=20,
+            max_community=400,
+            seed=109,
+        ).graph,
+        "eu-2005",
+    )
+
+
+def _livejournal() -> Graph:
+    # Online social network: communities present but noisier than web.
+    return _named(
+        lfr_graph(
+            26000,
+            avg_degree=16.0,
+            max_degree=300,
+            mu=0.35,
+            min_community=15,
+            max_community=250,
+            seed=110,
+        ).graph,
+        "soc-LiveJournal",
+    )
+
+
+def _osm() -> Graph:
+    # Road network: 2-D lattice, degree <= 4, huge diameter, no hubs.
+    return _named(generators.grid2d(160, 160, seed=111), "europe-osm")
+
+
+def _kron() -> Graph:
+    # Graph500 Kronecker: extreme skew, many isolated nodes, very weak
+    # community structure (the instance PLP cannot cluster).
+    return _named(generators.rmat(14, 8, seed=112), "kron-g500")
+
+
+def _uk2002() -> Graph:
+    # Large web crawl: the strongest community structure in the suite.
+    return _named(
+        lfr_graph(
+            30000,
+            avg_degree=22.0,
+            max_degree=600,
+            mu=0.08,
+            min_community=20,
+            max_community=500,
+            seed=113,
+        ).graph,
+        "uk-2002",
+    )
+
+
+def _uk2007() -> Graph:
+    # The massive §V-H instance (only used by Figure 9 / scaling benches).
+    return _named(
+        lfr_graph(
+            120000,
+            avg_degree=24.0,
+            max_degree=1000,
+            mu=0.08,
+            min_community=24,
+            max_community=800,
+            seed=114,
+        ).graph,
+        "uk-2007-05",
+    )
+
+
+#: All benchmark networks, in the paper's ascending-size order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("power", "power grid", 4941, 6594, _power),
+        DatasetSpec("PGPgiantcompo", "social / web of trust", 10680, 24316, _pgp),
+        DatasetSpec("as-22july06", "internet topology", 22963, 48436, _as22),
+        DatasetSpec("G_n_pin_pout", "synthetic planted", 100000, 501198, _gnp),
+        DatasetSpec(
+            "caidaRouterLevel", "internet topology", 192244, 609066, _caida
+        ),
+        DatasetSpec(
+            "coAuthorsCiteseer", "co-authorship", 227320, 814134, _coauthors
+        ),
+        DatasetSpec("as-Skitter", "internet topology", 1696415, 11095298, _skitter),
+        DatasetSpec("coPapersDBLP", "co-authorship", 540486, 15245729, _copapers),
+        DatasetSpec("eu-2005", "web graph", 862664, 16138468, _eu2005),
+        DatasetSpec(
+            "soc-LiveJournal", "social network", 4847571, 43110428, _livejournal
+        ),
+        DatasetSpec("europe-osm", "road network", 50912018, 54054660, _osm),
+        DatasetSpec("kron-g500", "synthetic Kronecker", 1048576, 100659854, _kron),
+        DatasetSpec("uk-2002", "web graph", 18520486, 261787258, _uk2002),
+        DatasetSpec(
+            "uk-2007-05",
+            "web graph (massive)",
+            105896555,
+            3301876564,
+            _uk2007,
+            in_main_suite=False,
+        ),
+    ]
+}
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Graph:
+    """Build (and cache) a benchmark network by name."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}")
+    return DATASETS[name].build()
+
+
+def main_suite() -> list[str]:
+    """Names of the 13 networks used in the comparative experiments."""
+    return [name for name, spec in DATASETS.items() if spec.in_main_suite]

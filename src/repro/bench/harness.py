@@ -1,0 +1,108 @@
+"""Experiment runner: algorithm x network matrices with run averaging.
+
+The paper averages quality and speed over multiple runs "to compensate for
+fluctuations" (§IV-C) and reports most results *relative to PLM* (§V-B).
+This module provides exactly that machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.community.base import CommunityDetector
+from repro.graph.csr import Graph
+from repro.partition.quality import modularity
+
+__all__ = ["ExperimentRow", "run_matrix", "aggregate_rows", "relative_to_baseline"]
+
+AlgorithmFactory = Callable[[int], CommunityDetector]
+"""Builds a fresh detector from a run seed."""
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """Averaged result of one (algorithm, network) cell.
+
+    ``time`` is simulated seconds; ``communities`` the mean community
+    count; ``runs`` the number of repetitions averaged.
+    """
+
+    algorithm: str
+    network: str
+    modularity: float
+    time: float
+    communities: float
+    runs: int
+
+    def key(self) -> tuple[str, str]:
+        return (self.algorithm, self.network)
+
+
+def run_matrix(
+    algorithms: dict[str, AlgorithmFactory],
+    graphs: Iterable[Graph],
+    runs: int = 3,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Run every algorithm on every graph, averaging over ``runs`` seeds."""
+    rows: list[ExperimentRow] = []
+    for graph in graphs:
+        for name, factory in algorithms.items():
+            mods, times, ks = [], [], []
+            for r in range(runs):
+                detector = factory(seed + r)
+                result = detector.run(graph)
+                mods.append(modularity(graph, result.partition))
+                times.append(result.timing.total)
+                ks.append(result.partition.k)
+            rows.append(
+                ExperimentRow(
+                    algorithm=name,
+                    network=graph.name,
+                    modularity=float(np.mean(mods)),
+                    time=float(np.mean(times)),
+                    communities=float(np.mean(ks)),
+                    runs=runs,
+                )
+            )
+    return rows
+
+
+def aggregate_rows(
+    rows: Sequence[ExperimentRow],
+) -> dict[tuple[str, str], ExperimentRow]:
+    """Index rows by (algorithm, network)."""
+    return {row.key(): row for row in rows}
+
+
+def relative_to_baseline(
+    rows: Sequence[ExperimentRow], baseline: str = "PLM"
+) -> list[dict[str, float | str]]:
+    """Per-network quality difference and time ratio vs the baseline.
+
+    Mirrors Figures 6/7: for each (algorithm, network) report
+    ``mod - mod_baseline`` and ``time / time_baseline``.
+    """
+    index = aggregate_rows(rows)
+    networks = sorted({row.network for row in rows})
+    out: list[dict[str, float | str]] = []
+    for row in rows:
+        if row.algorithm == baseline:
+            continue
+        base = index.get((baseline, row.network))
+        if base is None:
+            raise KeyError(f"baseline {baseline!r} missing for {row.network!r}")
+        out.append(
+            {
+                "algorithm": row.algorithm,
+                "network": row.network,
+                "mod_diff": row.modularity - base.modularity,
+                "time_ratio": row.time / base.time if base.time > 0 else np.inf,
+            }
+        )
+    # Keep deterministic network-major order for reporting.
+    out.sort(key=lambda d: (d["algorithm"], networks.index(d["network"])))
+    return out

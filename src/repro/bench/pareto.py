@@ -1,0 +1,78 @@
+"""Pareto evaluation (paper §V-F, Figure 5).
+
+Condenses the per-network matrix into one point per algorithm:
+
+* **time score** — geometric mean over the test networks of the running
+  time ratio vs PLM (1.0 = as fast as PLM, <1 faster),
+* **modularity score** — arithmetic mean of the absolute modularity
+  difference vs PLM (>0 better than PLM).
+
+The Pareto frontier contains every algorithm not dominated by another
+(faster *and* better)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.harness import ExperimentRow, aggregate_rows
+
+__all__ = ["ParetoPoint", "pareto_scores", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One algorithm's condensed (time, quality) score."""
+
+    algorithm: str
+    time_score: float
+    mod_score: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Strictly better in one dimension, at least as good in the other."""
+        no_worse = (
+            self.time_score <= other.time_score
+            and self.mod_score >= other.mod_score
+        )
+        better = (
+            self.time_score < other.time_score
+            or self.mod_score > other.mod_score
+        )
+        return no_worse and better
+
+
+def pareto_scores(
+    rows: Sequence[ExperimentRow], baseline: str = "PLM"
+) -> list[ParetoPoint]:
+    """Compute the Figure 5 scores from a run matrix."""
+    index = aggregate_rows(rows)
+    algorithms = sorted({row.algorithm for row in rows})
+    networks = sorted({row.network for row in rows})
+    points = []
+    for alg in algorithms:
+        ratios, diffs = [], []
+        for net in networks:
+            row = index.get((alg, net))
+            base = index.get((baseline, net))
+            if row is None or base is None:
+                continue
+            if base.time > 0 and row.time > 0:
+                ratios.append(row.time / base.time)
+            diffs.append(row.modularity - base.modularity)
+        if not diffs:
+            continue
+        time_score = float(np.exp(np.mean(np.log(ratios)))) if ratios else np.inf
+        mod_score = float(np.mean(diffs))
+        points.append(ParetoPoint(alg, time_score, mod_score))
+    return points
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Points not dominated by any other point."""
+    return [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]

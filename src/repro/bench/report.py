@@ -1,0 +1,62 @@
+"""Plain-text reporting for benchmark outputs.
+
+The bench suite regenerates the paper's tables/figures as aligned text
+tables written to ``benchmarks/results/`` and echoed to stdout, so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed by
+re-running the suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "write_report", "results_dir"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def results_dir() -> str:
+    """Directory for persisted bench outputs (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(name: str, content: str) -> str:
+    """Write (and echo) one experiment's report; returns the file path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content + "\n")
+    print(content)
+    return path

@@ -1,0 +1,49 @@
+"""Community-detection algorithms: the paper's contribution and baselines.
+
+Our parallel algorithms (paper §III):
+
+* :class:`PLP` — parallel label propagation (the extremely fast weak
+  classifier),
+* :class:`PLM` — the parallel Louvain method (locally greedy bottom-up
+  multilevel modularity maximization),
+* :class:`PLMR` — PLM with a refinement move phase after each prolongation,
+* :class:`EPP` — ensemble preprocessing: b concurrent base runs, core
+  communities via hashing, coarsening, and a strong final algorithm.
+
+Competitors reimplemented for the comparative study (paper §V-E):
+sequential :class:`Louvain`, matching-agglomerative :class:`CLU` (CLU_TBB)
+and :class:`CEL`, greedy :class:`CNM`, randomized-greedy :class:`RG`, and
+the RG-based ensembles :class:`CGGC` / :class:`CGGCi`.
+"""
+
+from repro.community.base import CommunityDetector, DetectionResult
+from repro.community.dplp import DynamicPLP
+from repro.community.overlapping import OLP, OverlappingResult
+from repro.community.plp import PLP
+from repro.community.plm import PLM, PLMR
+from repro.community.epp import EPP
+from repro.community.louvain import Louvain
+from repro.community.baselines.clu import CLU
+from repro.community.baselines.cel import CEL
+from repro.community.baselines.cnm import CNM
+from repro.community.baselines.rg import RG
+from repro.community.baselines.cggc import CGGC, CGGCi
+
+__all__ = [
+    "CommunityDetector",
+    "DetectionResult",
+    "PLP",
+    "DynamicPLP",
+    "OLP",
+    "OverlappingResult",
+    "PLM",
+    "PLMR",
+    "EPP",
+    "Louvain",
+    "CLU",
+    "CEL",
+    "CNM",
+    "RG",
+    "CGGC",
+    "CGGCi",
+]

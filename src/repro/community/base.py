@@ -1,0 +1,102 @@
+"""Common interface for community detectors."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.parallel.machine import PAPER_MACHINE
+from repro.parallel.metrics import TimingReport
+from repro.parallel.runtime import ParallelRuntime
+from repro.partition.partition import Partition
+
+__all__ = ["CommunityDetector", "DetectionResult"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one detection run.
+
+    Attributes
+    ----------
+    partition:
+        The detected communities.
+    timing:
+        Simulated timing report (total + per-phase sections).
+    info:
+        Algorithm-specific diagnostics (iteration counts, per-iteration
+        active/updated label counts for PLP, hierarchy depth for PLM, ...).
+    """
+
+    partition: Partition
+    timing: TimingReport
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.partition.labels
+
+
+class CommunityDetector(abc.ABC):
+    """Base class: configure at construction, run on a graph.
+
+    Subclasses implement :meth:`_run` against a provided runtime;
+    :meth:`run` handles runtime creation and timing capture so detectors
+    compose (EPP runs other detectors on sub-runtimes).
+    """
+
+    #: Short display name used in benchmark tables.
+    name: str = "detector"
+
+    def __init__(self, threads: int = 1) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+
+    def run(self, graph: Graph, runtime: ParallelRuntime | None = None) -> DetectionResult:
+        """Detect communities in ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            Input graph.
+        runtime:
+            Optional pre-configured runtime (must be fresh or mid-flight;
+            only the delta of its clock is attributed to this run). When
+            omitted a runtime on the paper's machine with ``self.threads``
+            threads is created.
+        """
+        if runtime is None:
+            runtime = ParallelRuntime(PAPER_MACHINE, threads=self.threads)
+        start = runtime.elapsed
+        start_sections = dict(runtime.sections)
+        labels, info = self._run(graph, runtime)
+        labels = np.asarray(labels)
+        if labels.shape != (graph.n,):
+            raise AssertionError(
+                f"{self.name}: labels shape {labels.shape} != ({graph.n},)"
+            )
+        sections = {
+            k: v - start_sections.get(k, 0.0)
+            for k, v in runtime.sections.items()
+            if v - start_sections.get(k, 0.0) > 0
+        }
+        timing = TimingReport(
+            total=runtime.elapsed - start,
+            threads=runtime.threads,
+            sections=sections,
+        )
+        return DetectionResult(Partition(labels), timing, info)
+
+    @abc.abstractmethod
+    def _run(
+        self, graph: Graph, runtime: ParallelRuntime
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Return raw labels and an info dict."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} {self.name!r} threads={self.threads}>"

@@ -1,0 +1,10 @@
+"""Reimplementations of the paper's competitor codes (§V-E).
+
+* :mod:`clu` — CLU_TBB-style parallel matching agglomeration with star
+  adaptation (Fagginger Auer & Bisseling),
+* :mod:`cel` — CEL-style parallel matching agglomeration without the star
+  adaptation (Riedy et al.),
+* :mod:`cnm` — the classic globally greedy CNM agglomeration,
+* :mod:`rg` — Randomized Greedy (Ovelgönne & Geyer-Schulz),
+* :mod:`cggc` — the RG-based ensembles CGGC and CGGCi.
+"""

@@ -1,0 +1,32 @@
+"""CEL — parallel matching agglomeration without star adaptation.
+
+Riedy et al.'s community-el style algorithm follows the same
+score-match-contract principle as CLU but matches edges in arbitrary order
+and has no adaptation for star-like structures (paper §II). On scale-free
+graphs this yields small matchings, a deep contraction hierarchy, and a
+pairwise-greedy merge order that locks in poor early decisions — matching
+the paper's finding that CEL is "consistently and significantly worse"
+than PLM in modularity while not as fast as PLP.
+"""
+
+from __future__ import annotations
+
+from repro.community.baselines.clu import CLU
+
+__all__ = ["CEL"]
+
+
+class CEL(CLU):
+    """Matching agglomeration, arbitrary-order matching, no star handling."""
+
+    name = "CEL"
+
+    def __init__(self, threads: int = 1, max_rounds: int = 64, seed: int = 0) -> None:
+        super().__init__(
+            threads=threads,
+            star_adaptation=False,
+            sort_matching=False,
+            max_rounds=max_rounds,
+            seed=seed,
+        )
+        self.name = "CEL"

@@ -1,0 +1,144 @@
+"""CLU — parallel matching-based agglomeration (CLU_TBB style).
+
+Fagginger Auer & Bisseling's DIMACS entry: weight every edge with the
+modularity gain of contracting it, compute a heavy matching over the
+positive-gain edges, contract, and recurse on the coarse graph. The *star
+adaptation* lets unmatched nodes join the group of their best positive
+neighbor, so star-like structures (which admit only tiny matchings) still
+contract quickly.
+
+Per round: edge scoring is a parallel loop, matching is a greedy pass over
+the gain-sorted edges, contraction reuses the parallel coarsening scheme.
+The paper found CLU_TBB "exceptionally fast" — faster than PLM on large
+instances — with modularity between PLP and PLM; both properties emerge
+from the construction (few rounds of cheap edge-local work, but merges are
+pairwise-greedy rather than move-optimized).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.community.base import CommunityDetector
+from repro.graph.coarsening import coarsen, prolong
+from repro.graph.csr import Graph
+from repro.parallel.runtime import ParallelRuntime
+
+__all__ = ["CLU"]
+
+
+class CLU(CommunityDetector):
+    """Parallel matching agglomeration with star adaptation.
+
+    Parameters
+    ----------
+    threads:
+        Simulated thread count.
+    star_adaptation:
+        Join unmatched nodes to their best positive matched neighbor
+        (CLU_TBB's extension; :class:`~repro.community.baselines.cel.CEL`
+        disables it).
+    sort_matching:
+        Process candidate edges in decreasing gain order (heavy matching).
+        ``False`` gives the arbitrary-order matching of simpler codes.
+    max_rounds:
+        Cap on contraction rounds.
+    """
+
+    name = "CLU"
+
+    def __init__(
+        self,
+        threads: int = 1,
+        star_adaptation: bool = True,
+        sort_matching: bool = True,
+        max_rounds: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(threads=threads)
+        self.star_adaptation = star_adaptation
+        self.sort_matching = sort_matching
+        self.max_rounds = max_rounds
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _round_groups(
+        self, graph: Graph, runtime: ParallelRuntime
+    ) -> np.ndarray | None:
+        """One scoring + matching round; returns node->group labels or
+        ``None`` when no contraction is possible."""
+        omega = graph.total_edge_weight
+        if omega == 0:
+            return None
+        us, vs, ws = graph.edge_array()
+        non_loop = us != vs
+        us, vs, ws = us[non_loop], vs[non_loop], ws[non_loop]
+        if us.size == 0:
+            return None
+        vol = graph.volumes()
+        # Parallel edge scoring: Delta mod of contracting each edge.
+        score = ws / omega - vol[us] * vol[vs] / (2.0 * omega**2)
+        runtime.charge(float(us.size) * 1.0, parallel=True)
+        positive = score > 1e-15
+        if not positive.any():
+            return None
+        pu, pv, ps = us[positive], vs[positive], score[positive]
+        if self.sort_matching:
+            order = np.argsort(-ps, kind="stable")
+            runtime.charge(
+                float(ps.size) * max(1.0, np.log2(ps.size + 1)), parallel=True
+            )
+        else:
+            order = np.arange(ps.size)
+        rep = np.arange(graph.n, dtype=np.int64)
+        matched = np.zeros(graph.n, dtype=bool)
+        # Greedy matching pass (sequential scan of the candidate list; the
+        # parallel implementation achieves the same matching via lock-free
+        # pointer races — charge it as a parallel pass).
+        for idx in order.tolist():
+            u, v = int(pu[idx]), int(pv[idx])
+            if not matched[u] and not matched[v]:
+                matched[u] = matched[v] = True
+                rep[v] = u
+        runtime.charge(float(ps.size) * 1.0, parallel=True)
+        if self.star_adaptation:
+            # Unmatched endpoints of positive edges adopt their best
+            # positive neighbor's group (first hit in gain order wins).
+            for idx in order.tolist():
+                u, v = int(pu[idx]), int(pv[idx])
+                if not matched[u] and matched[v]:
+                    rep[u] = rep[v]
+                    matched[u] = True
+                elif not matched[v] and matched[u]:
+                    rep[v] = rep[u]
+                    matched[v] = True
+            runtime.charge(float(ps.size) * 0.5, parallel=True)
+        if np.all(rep == np.arange(graph.n)):
+            return None
+        return rep
+
+    def _run(
+        self, graph: Graph, runtime: ParallelRuntime
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        mappings = []
+        current = graph
+        rounds = 0
+        with runtime.section("agglomerate"):
+            while rounds < self.max_rounds:
+                groups = self._round_groups(current, runtime)
+                if groups is None:
+                    break
+                result = coarsen(current, groups)
+                runtime.charge_coarsening(current.indices.size, result.graph.n)
+                if result.graph.n >= current.n:
+                    break
+                mappings.append(result)
+                current = result.graph
+                rounds += 1
+        labels = np.arange(current.n, dtype=np.int64)
+        for mapping in reversed(mappings):
+            labels = prolong(labels, mapping)
+            runtime.charge(float(mapping.fine_n), parallel=True)
+        return labels, {"rounds": rounds}

@@ -1,0 +1,205 @@
+"""OLP — overlapping label propagation (SLPA-style), paper §VII.
+
+The paper's future work names overlapping community detection as the next
+framework extension. This module implements the speaker-listener label
+propagation scheme (SLPA, Xie et al.): every node keeps a *memory* of
+labels; in each iteration every listener node collects one label from
+each neighbor (the speaker samples from its own memory proportionally to
+frequency), adopts the most popular label received, and appends it to its
+memory. After ``iterations`` rounds, each node's memberships are the
+labels whose memory frequency reaches the threshold ``r`` — nodes on
+community borders retain several frequent labels and end up in several
+communities.
+
+SLPA is the label-propagation family's standard overlapping variant and
+degrades gracefully: with ``r`` high it reduces to disjoint label
+propagation. The loop runs through the simulated runtime like every other
+algorithm; each node's update costs ``O(deg)`` per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.community.base import CommunityDetector
+from repro.graph.csr import Graph
+from repro.parallel.machine import PAPER_MACHINE
+from repro.parallel.metrics import TimingReport
+from repro.parallel.runtime import ParallelRuntime
+from repro.partition.cover import Cover
+from repro.partition.partition import Partition
+
+__all__ = ["OLP", "OverlappingResult"]
+
+
+class OverlappingResult:
+    """Result of an overlapping detection run."""
+
+    __slots__ = ("cover", "timing", "info", "partition")
+
+    def __init__(self, cover: Cover, timing: TimingReport, info: dict[str, Any]):
+        self.cover = cover
+        self.timing = timing
+        self.info = info
+        self.partition = Partition(cover.to_partition())
+
+
+class OLP(CommunityDetector):
+    """Overlapping label propagation (speaker-listener memory scheme).
+
+    Parameters
+    ----------
+    iterations:
+        Memory-building rounds (SLPA's ``T``; ~20-50 is typical).
+    r:
+        Post-processing frequency threshold in (0, 1]: a node belongs to
+        every community whose label fills at least an ``r`` fraction of
+        its memory. Larger ``r`` -> fewer overlaps.
+    threads / seed:
+        As elsewhere.
+    """
+
+    name = "OLP"
+
+    def __init__(
+        self,
+        threads: int = 1,
+        iterations: int = 30,
+        r: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(threads=threads)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 < r <= 1.0:
+            raise ValueError("r must be in (0, 1]")
+        self.iterations = iterations
+        self.r = r
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def detect(
+        self, graph: Graph, runtime: ParallelRuntime | None = None
+    ) -> OverlappingResult:
+        """Run and return the overlapping cover (rich result)."""
+        if runtime is None:
+            runtime = ParallelRuntime(PAPER_MACHINE, threads=self.threads)
+        start = runtime.elapsed
+        cover, info = self._detect(graph, runtime)
+        timing = TimingReport(
+            total=runtime.elapsed - start, threads=runtime.threads, sections={}
+        )
+        return OverlappingResult(cover, timing, info)
+
+    def _run(self, graph: Graph, runtime: ParallelRuntime):
+        cover, info = self._detect(graph, runtime)
+        return cover.to_partition(), info
+
+    # ------------------------------------------------------------------
+    def _detect(self, graph: Graph, runtime: ParallelRuntime):
+        n = graph.n
+        rng = np.random.default_rng(self.seed)
+        indptr, indices = graph.indptr, graph.indices
+        degrees = graph.degrees()
+        # Label memories: dict label -> count; every memory starts with the
+        # node's own label once.
+        memory: list[dict[int, int]] = [{v: 1} for v in range(n)]
+        memory_size = np.ones(n, dtype=np.int64)
+
+        def kernel(chunk: np.ndarray):
+            received = []
+            for v in chunk.tolist():
+                lo, hi = indptr[v], indptr[v + 1]
+                nbrs = indices[lo:hi]
+                heard: dict[int, int] = {}
+                for u in nbrs.tolist():
+                    if u == v:
+                        continue
+                    mem = memory[u]
+                    # Speaker: sample a label proportionally to frequency.
+                    pick = rng.integers(0, memory_size[u])
+                    acc = 0
+                    spoken = next(iter(mem))
+                    for label, count in mem.items():
+                        acc += count
+                        if pick < acc:
+                            spoken = label
+                            break
+                    heard[spoken] = heard.get(spoken, 0) + 1
+                if not heard:
+                    continue
+                # Listener: adopt the most popular label; break ties
+                # randomly per round (a static tie-break would hand the
+                # same side of a balanced boundary node every round,
+                # erasing its overlap).
+                best = max(
+                    heard.items(),
+                    key=lambda kv: (kv[1], rng.random()),
+                )[0]
+                received.append((v, best))
+            return received
+
+        def commit(received) -> None:
+            for v, label in received:
+                memory[v][label] = memory[v].get(label, 0) + 1
+                memory_size[v] += 1
+
+        nodes = np.flatnonzero(degrees > 0)
+        with runtime.section("propagate"):
+            for _ in range(self.iterations):
+                order = rng.permutation(nodes)
+                grain = max(1, min(64, order.size // (runtime.threads * 8)))
+                runtime.parallel_for(
+                    order,
+                    kernel,
+                    commit,
+                    costs=degrees[order] + 1.0,
+                    grain=grain,
+                    memory_bound=0.7,
+                )
+
+        # Post-processing 1: threshold memory frequencies.
+        memberships = []
+        for v in range(n):
+            total = memory_size[v]
+            kept = {l for l, c in memory[v].items() if c / total >= self.r}
+            if not kept:
+                kept = {max(memory[v], key=memory[v].get)}
+            memberships.append(kept)
+        # Post-processing 2: two label names can co-dominate the *same*
+        # node set (the random tie-break keeps balanced races alive inside
+        # a community). Merge labels whose member sets nearly coincide
+        # (Jaccard >= 0.6) so duplicate names do not masquerade as
+        # overlap — the SLPA paper's subset-merging step.
+        label_members: dict[int, set[int]] = {}
+        for v, kept in enumerate(memberships):
+            for l in kept:
+                label_members.setdefault(l, set()).add(v)
+        parent = {l: l for l in label_members}
+
+        def find(l: int) -> int:
+            while parent[l] != l:
+                parent[l] = parent[parent[l]]
+                l = parent[l]
+            return l
+
+        labels_sorted = sorted(
+            label_members, key=lambda l: -len(label_members[l])
+        )
+        for i, a in enumerate(labels_sorted):
+            for b in labels_sorted[i + 1 :]:
+                ra, rb = find(a), find(b)
+                if ra == rb:
+                    continue
+                ma, mb = label_members[ra], label_members[rb]
+                inter = len(ma & mb)
+                union = len(ma) + len(mb) - inter
+                if union and inter / union >= 0.6:
+                    parent[rb] = ra
+                    label_members[ra] = ma | mb
+        memberships = [{find(l) for l in kept} for kept in memberships]
+        runtime.charge(float(n) * 2.0, parallel=True)
+        cover = Cover(memberships)
+        return cover, {"iterations": self.iterations, "r": self.r}

@@ -1,0 +1,43 @@
+"""Graph substrate: CSR graphs, construction, I/O, coarsening, generators.
+
+This subpackage reimplements the general-purpose adjacency-array graph data
+structure the paper's framework (NetworKit) builds its community-detection
+algorithms on: an immutable CSR representation with cached degree/volume
+arrays, a builder for incremental construction, coarsening by communities
+(the multilevel substrate of PLM/PLMR/EPP), file I/O in METIS and edge-list
+formats, structural property computations (Table I), and the synthetic
+network generators used throughout the evaluation.
+"""
+
+from repro.graph.csr import Graph
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.coarsening import CoarseningResult, coarsen, prolong
+from repro.graph.properties import (
+    GraphSummary,
+    average_local_clustering,
+    connected_components,
+    degree_statistics,
+    summarize,
+)
+from repro.graph import generators
+from repro.graph.dynamic import DynamicGraph, GraphEvent
+from repro.graph.lfr import LFRGraph, lfr_graph
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "from_edges",
+    "CoarseningResult",
+    "coarsen",
+    "prolong",
+    "GraphSummary",
+    "average_local_clustering",
+    "connected_components",
+    "degree_statistics",
+    "summarize",
+    "generators",
+    "DynamicGraph",
+    "GraphEvent",
+    "LFRGraph",
+    "lfr_graph",
+]

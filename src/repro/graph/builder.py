@@ -1,0 +1,151 @@
+"""Incremental graph construction.
+
+The builder accumulates undirected weighted edges, then :meth:`GraphBuilder.build`
+symmetrizes, sorts, merges parallel edges (summing weights) and freezes the
+result into a :class:`repro.graph.csr.Graph`. Construction is fully
+vectorized — the per-edge Python cost is a single append to a list of
+primitives, and everything else is NumPy sort/reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = ["GraphBuilder", "from_edges"]
+
+
+class GraphBuilder:
+    """Accumulates edges for a weighted undirected graph.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (node ids are ``0 .. n-1``).
+    merge_parallel:
+        If ``True`` (default) parallel edges are merged by summing weights;
+        if ``False`` duplicates raise at build time.
+    """
+
+    def __init__(self, n: int, merge_parallel: bool = True) -> None:
+        if n < 0:
+            raise ValueError("node count must be non-negative")
+        self.n = int(n)
+        self.merge_parallel = merge_parallel
+        self._us: list[int] = []
+        self._vs: list[int] = []
+        self._ws: list[float] = []
+
+    def add_edge(self, u: int, v: int, w: float = 1.0) -> "GraphBuilder":
+        """Add an undirected edge ``{u, v}`` with weight ``w``."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise IndexError(f"edge ({u}, {v}) out of range for n={self.n}")
+        if w < 0:
+            raise ValueError("edge weights must be non-negative")
+        self._us.append(int(u))
+        self._vs.append(int(v))
+        self._ws.append(float(w))
+        return self
+
+    def add_edges(
+        self,
+        us: Sequence[int] | np.ndarray,
+        vs: Sequence[int] | np.ndarray,
+        ws: Sequence[float] | np.ndarray | None = None,
+    ) -> "GraphBuilder":
+        """Bulk-add edges from aligned arrays (vectorized path)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("us and vs must be aligned")
+        if ws is None:
+            ws = np.ones(us.size, dtype=np.float64)
+        else:
+            ws = np.asarray(ws, dtype=np.float64)
+            if ws.shape != us.shape:
+                raise ValueError("ws must be aligned with us/vs")
+        if us.size:
+            lo = min(int(us.min()), int(vs.min()))
+            hi = max(int(us.max()), int(vs.max()))
+            if lo < 0 or hi >= self.n:
+                raise IndexError("edge endpoint out of range")
+            if np.any(ws < 0):
+                raise ValueError("edge weights must be non-negative")
+        self._us.extend(us.tolist())
+        self._vs.extend(vs.tolist())
+        self._ws.extend(ws.tolist())
+        return self
+
+    def __len__(self) -> int:
+        return len(self._us)
+
+    def build(self, name: str = "") -> Graph:
+        """Freeze the accumulated edges into an immutable CSR graph."""
+        us = np.asarray(self._us, dtype=np.int64)
+        vs = np.asarray(self._vs, dtype=np.int64)
+        ws = np.asarray(self._ws, dtype=np.float64)
+        return _assemble(self.n, us, vs, ws, self.merge_parallel, name)
+
+
+def from_edges(
+    n: int,
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    name: str = "",
+    merge_parallel: bool = True,
+) -> Graph:
+    """Build a graph directly from an iterable of (u, v[, w]) tuples."""
+    builder = GraphBuilder(n, merge_parallel=merge_parallel)
+    for edge in edges:
+        if len(edge) == 2:
+            builder.add_edge(edge[0], edge[1])
+        else:
+            builder.add_edge(edge[0], edge[1], edge[2])
+    return builder.build(name=name)
+
+
+def _assemble(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    ws: np.ndarray,
+    merge_parallel: bool,
+    name: str,
+) -> Graph:
+    """Symmetrize, dedupe and pack edges into CSR arrays."""
+    if us.size == 0:
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        return Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
+
+    # Canonicalize endpoints so duplicate detection is orientation-free.
+    lo = np.minimum(us, vs)
+    hi = np.maximum(us, vs)
+    key = lo * n + hi
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    ws_sorted = ws[order]
+    boundary = np.empty(key.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(key[1:], key[:-1], out=boundary[1:])
+    if not merge_parallel and not boundary.all():
+        raise ValueError("duplicate edges with merge_parallel=False")
+    starts = np.flatnonzero(boundary)
+    merged_w = np.add.reduceat(ws_sorted, starts)
+    merged_key = key[starts]
+    e_lo = merged_key // n
+    e_hi = merged_key % n
+
+    # Directed entry list: both directions for non-loops, once for loops.
+    loop = e_lo == e_hi
+    src = np.concatenate([e_lo, e_hi[~loop]])
+    dst = np.concatenate([e_hi, e_lo[~loop]])
+    w = np.concatenate([merged_w, merged_w[~loop]])
+
+    order = np.lexsort((dst, src))
+    src, dst, w = src[order], dst[order], w[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Graph(indptr, dst, w, name)

@@ -1,0 +1,127 @@
+"""Coarsening by communities and prolongation — the multilevel substrate.
+
+Coarsening aggregates every community of a partition into a single coarse
+node. An edge between two coarse nodes carries the summed weight of all
+inter-community edges between the two communities; a coarse self-loop carries
+the summed weight of intra-community edges (paper §III-B). ``prolong`` maps a
+solution on the coarse graph back to the fine graph through the node mapping.
+
+The paper parallelizes coarsening by letting each thread build a partial
+coarse graph from its share of the edges and then merging the partials per
+coarse node. The *result* of that scheme is identical to the sequential
+construction; here the aggregation itself is a vectorized sort/reduce, and
+the parallel cost (partial build + merge) is charged through the simulated
+runtime by the algorithms that invoke it (see
+:meth:`repro.parallel.runtime.ParallelRuntime.charge_coarsening`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = ["CoarseningResult", "coarsen", "prolong"]
+
+
+@dataclass(frozen=True)
+class CoarseningResult:
+    """Outcome of coarsening a graph by a partition.
+
+    Attributes
+    ----------
+    graph:
+        The coarse graph ``G'`` with one node per community.
+    mapping:
+        ``pi``: array of length ``n_fine`` mapping fine node -> coarse node.
+    fine_n:
+        Number of nodes of the fine graph (for sanity checks in prolong).
+    """
+
+    graph: Graph
+    mapping: np.ndarray
+    fine_n: int
+
+
+def coarsen(graph: Graph, communities: np.ndarray, name: str = "") -> CoarseningResult:
+    """Aggregate ``graph`` according to ``communities``.
+
+    Parameters
+    ----------
+    graph:
+        Fine graph ``G``.
+    communities:
+        Integer array of length ``graph.n``; values are community labels
+        (arbitrary non-negative integers, compacted internally).
+    name:
+        Optional name for the coarse graph.
+
+    Returns
+    -------
+    CoarseningResult
+        Coarse graph, fine->coarse mapping, and the fine node count.
+    """
+    communities = np.asarray(communities)
+    if communities.shape != (graph.n,):
+        raise ValueError("communities must have one label per node")
+    if graph.n == 0:
+        empty = Graph(
+            np.zeros(1, np.int64), np.empty(0, np.int64), np.empty(0, np.float64), name
+        )
+        return CoarseningResult(empty, np.empty(0, np.int64), 0)
+    if communities.min() < 0:
+        raise ValueError("community labels must be non-negative")
+
+    # Compact labels to 0..k-1 preserving first-occurrence order of sorted ids.
+    mapping_values, mapping = np.unique(communities, return_inverse=True)
+    k = mapping_values.size
+    mapping = mapping.astype(np.int64)
+
+    us, vs, ws = graph.edge_array()
+    cu = mapping[us]
+    cv = mapping[vs]
+    lo = np.minimum(cu, cv)
+    hi = np.maximum(cu, cv)
+    if lo.size == 0:
+        indptr = np.zeros(k + 1, dtype=np.int64)
+        coarse = Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
+        return CoarseningResult(coarse, mapping, graph.n)
+
+    key = lo * k + hi
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    w_sorted = ws[order]
+    boundary = np.empty(key_sorted.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    agg_w = np.add.reduceat(w_sorted, starts)
+    agg_key = key_sorted[starts]
+    e_lo = agg_key // k
+    e_hi = agg_key % k
+
+    loop = e_lo == e_hi
+    src = np.concatenate([e_lo, e_hi[~loop]])
+    dst = np.concatenate([e_hi, e_lo[~loop]])
+    w = np.concatenate([agg_w, agg_w[~loop]])
+    entry_order = np.lexsort((dst, src))
+    src, dst, w = src[entry_order], dst[entry_order], w[entry_order]
+    counts = np.bincount(src, minlength=k)
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    coarse = Graph(indptr, dst, w, name or f"{graph.name}/coarse")
+    return CoarseningResult(coarse, mapping, graph.n)
+
+
+def prolong(coarse_solution: np.ndarray, result: CoarseningResult) -> np.ndarray:
+    """Project a coarse-graph solution back onto the fine graph.
+
+    ``zeta(v) = zeta'(pi(v))`` — each fine node adopts the community its
+    coarse representative was assigned.
+    """
+    coarse_solution = np.asarray(coarse_solution)
+    if coarse_solution.shape != (result.graph.n,):
+        raise ValueError("coarse solution must label every coarse node")
+    return coarse_solution[result.mapping]

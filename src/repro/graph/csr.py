@@ -1,0 +1,224 @@
+"""Immutable CSR graph: the adjacency-array substrate for all algorithms.
+
+The paper's framework stores the adjacencies of each node contiguously and
+exposes (parallel) node and edge iteration on top. We mirror that with a
+frozen compressed-sparse-row layout in NumPy arrays, which keeps the hot
+loops of the community-detection kernels vectorizable and cache-friendly
+(contiguous neighbor ranges).
+
+Storage convention
+------------------
+Undirected edge ``{u, v}`` with ``u != v`` is stored twice: once in ``u``'s
+neighbor range and once in ``v``'s. A self-loop ``{v, v}`` is stored once.
+With weights ``w`` this gives:
+
+* ``total_edge_weight`` (the paper's ``omega(E)``) = half the weight of
+  non-loop entries plus the full weight of loop entries,
+* ``volume(v)`` = sum of incident entry weights, counting self-loops twice
+  (the paper's ``vol(v)``), so ``sum_v vol(v) == 2 * omega(E)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable, weighted, undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; neighbor range of node ``v`` is
+        ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        ``int64`` array of neighbor ids (both directions for non-loops,
+        one entry per self-loop).
+    weights:
+        ``float64`` array aligned with ``indices``.
+    name:
+        Optional label used by dataset registries and reports.
+
+    Notes
+    -----
+    Instances are frozen: the arrays are marked read-only at construction.
+    Use :class:`repro.graph.builder.GraphBuilder` to create graphs.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "name",
+        "_volumes",
+        "_total_edge_weight",
+        "_loop_weights",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        name: str = "",
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise ValueError("indptr must be a 1-D array of length n + 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size != weights.size:
+            raise ValueError("indices and weights must be aligned")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("neighbor index out of range")
+        if np.any(weights < 0):
+            raise ValueError("edge weights must be non-negative")
+        for arr in (indptr, indices, weights):
+            arr.setflags(write=False)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.name = name
+
+        # Cached per-node loop weight (needed by volumes and modularity).
+        node_of_entry = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        loop_mask = indices == node_of_entry
+        loop_weights = np.zeros(n, dtype=np.float64)
+        if loop_mask.any():
+            np.add.at(loop_weights, indices[loop_mask], weights[loop_mask])
+        loop_weights.setflags(write=False)
+        self._loop_weights = loop_weights
+
+        # vol(v): incident weight with self-loops counted twice. reduceat
+        # needs strictly in-range starts, so reduce only non-empty segments.
+        sums = np.zeros(n, dtype=np.float64)
+        nonempty = np.diff(indptr) > 0
+        if indices.size:
+            sums[nonempty] = np.add.reduceat(weights, indptr[:-1][nonempty])
+        volumes = sums + loop_weights
+        volumes.setflags(write=False)
+        self._volumes = volumes
+
+        total = float(weights.sum() - loop_weights.sum()) / 2.0 + float(
+            loop_weights.sum()
+        )
+        self._total_edge_weight = total
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.indptr.size - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges (self-loops count once)."""
+        node_of_entry = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        loops = int(np.count_nonzero(self.indices == node_of_entry))
+        return (self.indices.size - loops) // 2 + loops
+
+    @property
+    def total_edge_weight(self) -> float:
+        """omega(E): total weight of all undirected edges."""
+        return self._total_edge_weight
+
+    # ------------------------------------------------------------------
+    # Per-node accessors
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Number of stored adjacency entries per node (loops count once)."""
+        return np.diff(self.indptr)
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def volumes(self) -> np.ndarray:
+        """vol(v) for every node: incident weight, self-loops doubled."""
+        return self._volumes
+
+    def volume(self, v: int) -> float:
+        return float(self._volumes[v])
+
+    def loop_weight(self, v: int) -> float:
+        """Weight of the self-loop at ``v`` (0 if absent)."""
+        return float(self._loop_weights[v])
+
+    def loop_weights(self) -> np.ndarray:
+        return self._loop_weights
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of ``v``'s neighbor ids."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Read-only view of the weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def weight_between(self, u: int, v: int) -> float:
+        """Total weight of edges between ``u`` and ``v`` (0 if non-adjacent)."""
+        nbrs = self.neighbors(u)
+        mask = nbrs == v
+        if not mask.any():
+            return 0.0
+        return float(self.neighbor_weights(u)[mask].sum())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool((self.neighbors(u) == v).any())
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u <= v``."""
+        for u in range(self.n):
+            start, stop = self.indptr[u], self.indptr[u + 1]
+            for k in range(start, stop):
+                v = int(self.indices[k])
+                if u <= v:
+                    yield u, v, float(self.weights[k])
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized edge list ``(us, vs, ws)`` with each edge once, u <= v."""
+        node_of_entry = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        keep = node_of_entry <= self.indices
+        return node_of_entry[keep], self.indices[keep], self.weights[keep]
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} n={self.n} m={self.m} w={self.total_edge_weight:g}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:  # content-addressed enough for caching
+        return hash(
+            (self.n, self.indices.size, float(self.weights.sum()), self.name)
+        )
+
+    def to_scipy(self):
+        """Return the graph as a ``scipy.sparse.csr_matrix`` (loops once)."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.weights, self.indices, self.indptr), shape=(self.n, self.n)
+        )

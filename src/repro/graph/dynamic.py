@@ -1,0 +1,149 @@
+"""Mutable dynamic graph with efficient edge insertions and deletions.
+
+The paper's framework stores adjacencies so that nodes and edges can be
+inserted and removed efficiently (§IV-A) — the basis of the group's work
+on analyzing *dynamic* networks. :class:`DynamicGraph` provides that
+mutable representation: adjacency dictionaries with O(1) expected
+insert/delete, plus ``freeze()`` to produce the immutable CSR
+:class:`~repro.graph.csr.Graph` the algorithms consume, and an edit log
+that incremental algorithms (e.g.
+:class:`~repro.community.dplp.DynamicPLP`) use to find the affected
+region of a batch of updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = ["DynamicGraph", "GraphEvent"]
+
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """One edit: ``kind`` is ``"add"`` or ``"remove"``; weighted edge."""
+
+    kind: Literal["add", "remove"]
+    u: int
+    v: int
+    w: float = 1.0
+
+
+class DynamicGraph:
+    """An undirected weighted graph under edge insertions and deletions.
+
+    Parallel edges merge by weight addition; removing an edge deletes it
+    entirely. Self-loops are allowed. Node ids are fixed at construction
+    (``0 .. n-1``); "removing" a node means removing its incident edges.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("node count must be non-negative")
+        self.n = int(n)
+        self._adj: list[dict[int, float]] = [dict() for _ in range(self.n)]
+        self._m = 0
+        self._total_weight = 0.0
+        self._log: list[GraphEvent] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DynamicGraph":
+        """Thaw an immutable graph into a mutable one."""
+        dyn = cls(graph.n)
+        us, vs, ws = graph.edge_array()
+        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+            dyn.add_edge(u, v, w)
+        dyn._log.clear()
+        return dyn
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Current number of undirected edges (loops count once)."""
+        return self._m
+
+    @property
+    def total_edge_weight(self) -> float:
+        return self._total_weight
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        return self._adj[u].get(v, 0.0)
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        return iter(self._adj[v])
+
+    # ------------------------------------------------------------------
+    def _check(self, u: int, v: int) -> None:
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise IndexError(f"edge ({u}, {v}) out of range for n={self.n}")
+
+    def add_edge(self, u: int, v: int, w: float = 1.0) -> None:
+        """Insert {u, v} with weight ``w`` (merges with an existing edge)."""
+        self._check(u, v)
+        if w < 0:
+            raise ValueError("edge weights must be non-negative")
+        existed = v in self._adj[u]
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + w
+        if u != v:
+            self._adj[v][u] = self._adj[v].get(u, 0.0) + w
+        if not existed:
+            self._m += 1
+        self._total_weight += w
+        self._log.append(GraphEvent("add", u, v, w))
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Delete {u, v}; returns the removed weight."""
+        self._check(u, v)
+        if v not in self._adj[u]:
+            raise KeyError(f"no edge ({u}, {v})")
+        w = self._adj[u].pop(v)
+        if u != v:
+            del self._adj[v][u]
+        self._m -= 1
+        self._total_weight -= w
+        self._log.append(GraphEvent("remove", u, v, w))
+        return w
+
+    def remove_node(self, v: int) -> int:
+        """Remove all edges incident to ``v``; returns how many."""
+        self._check(v, v)
+        incident = list(self._adj[v])
+        for u in incident:
+            self.remove_edge(v, u)
+        return len(incident)
+
+    # ------------------------------------------------------------------
+    def drain_events(self) -> list[GraphEvent]:
+        """Return and clear the edit log since the last drain/freeze."""
+        events, self._log = self._log, []
+        return events
+
+    def affected_nodes(self, events: list[GraphEvent] | None = None) -> np.ndarray:
+        """Endpoints touched by ``events`` (default: the pending log)."""
+        events = self._log if events is None else events
+        nodes = {e.u for e in events} | {e.v for e in events}
+        return np.fromiter(sorted(nodes), dtype=np.int64, count=len(nodes))
+
+    def freeze(self, name: str = "") -> Graph:
+        """Produce the immutable CSR snapshot of the current state."""
+        builder = GraphBuilder(self.n)
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                if u <= v:
+                    builder.add_edge(u, v, w)
+        return builder.build(name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DynamicGraph n={self.n} m={self._m} w={self._total_weight:g}>"

@@ -1,0 +1,421 @@
+"""Synthetic network generators.
+
+These provide (a) the synthetic instance classes the paper itself uses —
+``G_n_pin_pout`` planted partition and R-MAT/Kronecker graphs with the
+paper's parameters — and (b) stand-ins for the real-world graph categories
+of Table I (web, social, co-authorship, internet topology, road, power
+grid), since the multi-gigabyte DIMACS/SNAP files are not available offline.
+Every generator takes an explicit ``seed`` and is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "planted_partition",
+    "rmat",
+    "barabasi_albert",
+    "holme_kim",
+    "watts_strogatz",
+    "grid2d",
+    "affiliation",
+    "copying_model",
+    "clique_pair",
+    "ring",
+    "star",
+    "complete_graph",
+    "PAPER_RMAT",
+]
+
+#: R-MAT parameters used for the paper's weak-scaling Kronecker series.
+PAPER_RMAT = (0.57, 0.19, 0.19, 0.05)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _decode_pairs(linear: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Decode linear indices in [0, C(n,2)) to pairs (i, j) with i < j.
+
+    Uses the row-major triangular enumeration: pair (i, j) has index
+    ``i*n - i*(i+1)/2 + (j - i - 1)``.
+    """
+    linear = linear.astype(np.float64)
+    # Invert the quadratic; float error is corrected below.
+    i = np.floor((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * linear)) / 2).astype(
+        np.int64
+    )
+    # Correct potential off-by-one from floating point.
+    for _ in range(2):
+        base = i * n - (i * (i + 1)) // 2
+        too_big = base > linear
+        i = np.where(too_big, i - 1, i)
+        base = i * n - (i * (i + 1)) // 2
+        next_base = (i + 1) * n - ((i + 1) * (i + 2)) // 2
+        too_small = linear >= next_base
+        i = np.where(too_small, i + 1, i)
+    base = i * n - (i * (i + 1)) // 2
+    j = (linear - base).astype(np.int64) + i + 1
+    return i, j
+
+
+def _sample_distinct_pairs(
+    n: int, count: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` distinct unordered pairs from an ``n``-node set."""
+    total = n * (n - 1) // 2
+    count = min(count, total)
+    if count <= 0 or n < 2:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    chosen: np.ndarray = np.empty(0, dtype=np.int64)
+    while chosen.size < count:
+        need = count - chosen.size
+        draw = rng.integers(0, total, size=max(need * 2, 16))
+        chosen = np.unique(np.concatenate([chosen, draw]))
+    chosen = rng.permutation(chosen)[:count]
+    return _decode_pairs(chosen, n)
+
+
+# ----------------------------------------------------------------------
+# Classic random graphs
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, p: float, seed: int = 0, name: str = "") -> Graph:
+    """G(n, p) Erdos–Renyi graph (edge count sampled, pairs uniform)."""
+    rng = np.random.default_rng(seed)
+    total = n * (n - 1) // 2
+    m = int(rng.binomial(total, p)) if total else 0
+    us, vs = _sample_distinct_pairs(n, m, rng)
+    builder = GraphBuilder(n)
+    builder.add_edges(us, vs)
+    return builder.build(name=name or f"gnp-{n}-{p:g}")
+
+
+def planted_partition(
+    n: int,
+    k: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+    name: str = "",
+) -> tuple[Graph, np.ndarray]:
+    """``G(n, p_in, p_out)`` planted-partition graph (paper's G_n_pin_pout).
+
+    ``k`` equal-size communities; intra-community pairs connect with
+    ``p_in``, inter-community pairs with ``p_out``. Returns the graph and
+    the ground-truth community assignment.
+    """
+    if k <= 0 or n < k:
+        raise ValueError("need at least one node per community")
+    rng = np.random.default_rng(seed)
+    sizes = np.full(k, n // k, dtype=np.int64)
+    sizes[: n % k] += 1
+    labels = np.repeat(np.arange(k, dtype=np.int64), sizes)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    all_us: list[np.ndarray] = []
+    all_vs: list[np.ndarray] = []
+    # Intra-community edges: exact binomial per block.
+    for c in range(k):
+        s = int(sizes[c])
+        total = s * (s - 1) // 2
+        cnt = int(rng.binomial(total, p_in)) if total else 0
+        us, vs = _sample_distinct_pairs(s, cnt, rng)
+        all_us.append(us + offsets[c])
+        all_vs.append(vs + offsets[c])
+    # Inter-community edges: binomial over all inter pairs, rejection-sampled.
+    total_pairs = n * (n - 1) // 2
+    intra_pairs = int(np.sum(sizes * (sizes - 1) // 2))
+    inter_pairs = total_pairs - intra_pairs
+    cnt = int(rng.binomial(inter_pairs, p_out)) if inter_pairs else 0
+    got_u: list[np.ndarray] = []
+    got = 0
+    seen: np.ndarray = np.empty(0, dtype=np.int64)
+    while got < cnt:
+        draw = rng.integers(0, total_pairs, size=max((cnt - got) * 2, 16))
+        du, dv = _decode_pairs(draw, n)
+        keep = labels[du] != labels[dv]
+        draw = draw[keep]
+        seen = np.unique(np.concatenate([seen, draw]))
+        got = seen.size
+    if cnt:
+        pick = rng.permutation(seen)[:cnt]
+        iu, iv = _decode_pairs(pick, n)
+        all_us.append(iu)
+        all_vs.append(iv)
+
+    builder = GraphBuilder(n)
+    builder.add_edges(np.concatenate(all_us), np.concatenate(all_vs))
+    graph = builder.build(name=name or f"Gnpinpout-{n}-{k}")
+    return graph, labels
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    a: float = PAPER_RMAT[0],
+    b: float = PAPER_RMAT[1],
+    c: float = PAPER_RMAT[2],
+    d: float = PAPER_RMAT[3],
+    seed: int = 0,
+    name: str = "",
+) -> Graph:
+    """R-MAT / Kronecker graph: ``n = 2**scale`` nodes, ``n * edge_factor``
+    undirected edges sampled by recursive quadrant descent.
+
+    Defaults are the paper's weak-scaling parameters (0.57, 0.19, 0.19, 0.05)
+    — the Graph500 parameter set, producing heavy-tailed degree
+    distributions, many isolated nodes and weak community structure
+    (the kron_g500 instance class of Table I).
+    """
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("R-MAT probabilities must sum to 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    us = np.zeros(m, dtype=np.int64)
+    vs = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        us <<= 1
+        vs <<= 1
+        r = rng.random(m)
+        right = (r >= a) & (r < a + b)  # top-right quadrant: v bit set
+        bottom = (r >= a + b) & (r < a + b + c)  # bottom-left: u bit set
+        both = r >= a + b + c  # bottom-right: both bits
+        vs += (right | both).astype(np.int64)
+        us += (bottom | both).astype(np.int64)
+    keep = us != vs  # drop self-loops, as the Kronecker benchmark inputs do
+    builder = GraphBuilder(n)
+    builder.add_edges(us[keep], vs[keep])
+    return builder.build(name=name or f"rmat-{scale}-{edge_factor}")
+
+
+# ----------------------------------------------------------------------
+# Category stand-ins
+# ----------------------------------------------------------------------
+def barabasi_albert(n: int, attach: int, seed: int = 0, name: str = "") -> Graph:
+    """Preferential-attachment graph (internet-topology stand-in:
+    as-22july06 / caidaRouterLevel class — hubs, low clustering)."""
+    if attach < 1 or n <= attach:
+        raise ValueError("need n > attach >= 1")
+    rng = np.random.default_rng(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    # Repeated-endpoint list implements preferential attachment in O(1).
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    for v in range(attach, n):
+        for t in targets:
+            us.append(v)
+            vs.append(t)
+            repeated.append(v)
+            repeated.append(t)
+        idx = rng.integers(0, len(repeated), size=attach)
+        targets = list({repeated[i] for i in idx})
+        while len(targets) < attach:
+            cand = repeated[rng.integers(0, len(repeated))]
+            if cand not in targets:
+                targets.append(cand)
+    builder = GraphBuilder(n)
+    builder.add_edges(np.array(us), np.array(vs))
+    return builder.build(name=name or f"ba-{n}-{attach}")
+
+
+def holme_kim(
+    n: int, attach: int, p_triad: float, seed: int = 0, name: str = ""
+) -> Graph:
+    """Power-law cluster graph (social-network stand-in: preferential
+    attachment plus triad formation gives hubs *and* high clustering)."""
+    if attach < 1 or n <= attach:
+        raise ValueError("need n > attach >= 1")
+    rng = np.random.default_rng(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    repeated: list[int] = list(range(attach))
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+
+    def connect(u: int, v: int) -> None:
+        us.append(u)
+        vs.append(v)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        repeated.append(u)
+        repeated.append(v)
+
+    for v in range(attach, n):
+        # First link: pure preferential attachment.
+        first = repeated[rng.integers(0, len(repeated))]
+        connect(v, first)
+        prev = first
+        for _ in range(attach - 1):
+            if rng.random() < p_triad and adjacency[prev]:
+                # Triad step: link to a neighbor of the previous target.
+                cands = [w for w in adjacency[prev] if w != v and w not in adjacency[v]]
+                if cands:
+                    t = cands[int(rng.integers(0, len(cands)))]
+                    connect(v, t)
+                    prev = t
+                    continue
+            t = repeated[rng.integers(0, len(repeated))]
+            if t != v and t not in adjacency[v]:
+                connect(v, t)
+                prev = t
+    builder = GraphBuilder(n)
+    builder.add_edges(np.array(us), np.array(vs))
+    return builder.build(name=name or f"hk-{n}-{attach}-{p_triad:g}")
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0, name: str = "") -> Graph:
+    """Small-world ring lattice with rewiring (power-grid stand-in)."""
+    if k % 2 or k >= n:
+        raise ValueError("k must be even and < n")
+    rng = np.random.default_rng(seed)
+    half = k // 2
+    src = np.repeat(np.arange(n, dtype=np.int64), half)
+    offs = np.tile(np.arange(1, half + 1, dtype=np.int64), n)
+    dst = (src + offs) % n
+    rewire = rng.random(src.size) < beta
+    new_dst = rng.integers(0, n, size=src.size)
+    ok = rewire & (new_dst != src)
+    dst = np.where(ok, new_dst, dst)
+    builder = GraphBuilder(n)
+    builder.add_edges(src, dst)
+    return builder.build(name=name or f"ws-{n}-{k}-{beta:g}")
+
+
+def grid2d(rows: int, cols: int, seed: int = 0, name: str = "") -> Graph:
+    """2-D lattice (road-network stand-in: europe-osm class — near-uniform
+    low degree, huge diameter, negligible clustering)."""
+    n = rows * cols
+    ids = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right_u = ids[:, :-1].ravel()
+    right_v = ids[:, 1:].ravel()
+    down_u = ids[:-1, :].ravel()
+    down_v = ids[1:, :].ravel()
+    builder = GraphBuilder(n)
+    builder.add_edges(
+        np.concatenate([right_u, down_u]), np.concatenate([right_v, down_v])
+    )
+    return builder.build(name=name or f"grid-{rows}x{cols}")
+
+
+def affiliation(
+    n: int,
+    groups: int,
+    group_size_mean: float,
+    membership_overlap: float = 0.15,
+    seed: int = 0,
+    name: str = "",
+) -> Graph:
+    """Clique-affiliation graph (co-authorship stand-in: coAuthorsCiteseer /
+    coPapersDBLP class — papers are cliques of authors, so LCC is very high).
+
+    ``groups`` cliques with geometric sizes around ``group_size_mean`` are
+    placed over the node set; a fraction of members are drawn from previous
+    groups (overlap), stitching the cliques together.
+    """
+    rng = np.random.default_rng(seed)
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    used: list[int] = []
+    for _ in range(groups):
+        size = 2 + rng.geometric(1.0 / max(group_size_mean - 1.0, 1.0))
+        size = int(min(size, n))
+        members = set()
+        n_old = int(round(size * membership_overlap))
+        if used and n_old:
+            idx = rng.integers(0, len(used), size=n_old)
+            members.update(used[i] for i in idx)
+        while len(members) < size:
+            members.add(int(rng.integers(0, n)))
+        mem = np.array(sorted(members), dtype=np.int64)
+        used.extend(mem.tolist())
+        iu, iv = np.triu_indices(mem.size, k=1)
+        us.append(mem[iu])
+        vs.append(mem[iv])
+    builder = GraphBuilder(n)
+    if us:
+        builder.add_edges(np.concatenate(us), np.concatenate(vs))
+    return builder.build(name=name or f"affil-{n}-{groups}")
+
+
+def copying_model(
+    n: int, alpha: float = 0.5, out_degree: int = 7, seed: int = 0, name: str = ""
+) -> Graph:
+    """Web-graph stand-in (uk-2002 / eu-2005 class) via the copying model:
+    each new page copies links of a random prototype with probability
+    ``alpha``, else links uniformly. Produces hubs, dense local clusters and
+    strong community structure, like crawled web graphs."""
+    if out_degree < 1 or n <= out_degree + 1:
+        raise ValueError("need n > out_degree + 1")
+    rng = np.random.default_rng(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    out_links: list[list[int]] = [[] for _ in range(n)]
+    seed_n = out_degree + 1
+    for v in range(seed_n):
+        for u in range(v):
+            us.append(v)
+            vs.append(u)
+            out_links[v].append(u)
+    for v in range(seed_n, n):
+        proto = int(rng.integers(0, v))
+        proto_links = out_links[proto]
+        chosen: set[int] = set()
+        for i in range(out_degree):
+            if proto_links and i < len(proto_links) and rng.random() < alpha:
+                t = proto_links[i]
+            else:
+                t = int(rng.integers(0, v))
+            if t != v:
+                chosen.add(t)
+        for t in chosen:
+            us.append(v)
+            vs.append(t)
+        out_links[v] = list(chosen)
+    builder = GraphBuilder(n)
+    builder.add_edges(np.array(us), np.array(vs))
+    return builder.build(name=name or f"web-{n}")
+
+
+# ----------------------------------------------------------------------
+# Tiny deterministic fixtures
+# ----------------------------------------------------------------------
+def clique_pair(size: int = 5, bridges: int = 1, name: str = "clique-pair") -> Graph:
+    """Two ``size``-cliques joined by ``bridges`` edges — the canonical
+    two-community test fixture."""
+    n = 2 * size
+    builder = GraphBuilder(n)
+    iu, iv = np.triu_indices(size, k=1)
+    builder.add_edges(iu, iv)
+    builder.add_edges(iu + size, iv + size)
+    for b in range(bridges):
+        builder.add_edge(b % size, size + (b % size))
+    return builder.build(name=name)
+
+
+def ring(n: int, name: str = "") -> Graph:
+    """Cycle graph."""
+    src = np.arange(n, dtype=np.int64)
+    builder = GraphBuilder(n)
+    builder.add_edges(src, (src + 1) % n)
+    return builder.build(name=name or f"ring-{n}")
+
+
+def star(n: int, name: str = "") -> Graph:
+    """Star: node 0 is the hub (max-degree load-imbalance fixture)."""
+    builder = GraphBuilder(n)
+    builder.add_edges(np.zeros(n - 1, np.int64), np.arange(1, n, dtype=np.int64))
+    return builder.build(name=name or f"star-{n}")
+
+
+def complete_graph(n: int, name: str = "") -> Graph:
+    """K_n."""
+    iu, iv = np.triu_indices(n, k=1)
+    builder = GraphBuilder(n)
+    builder.add_edges(iu, iv)
+    return builder.build(name=name or f"K{n}")

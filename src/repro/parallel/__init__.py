@@ -1,0 +1,49 @@
+"""Simulated shared-memory parallel runtime (the OpenMP substitute).
+
+The paper's algorithms are OpenMP loop-parallel codes tuned on a 2x8-core
+Xeon with 32 hardware threads. This host is a single-core CPython process,
+so real thread scaling is unmeasurable; instead, every parallel loop in this
+library runs through :class:`ParallelRuntime.parallel_for`, which
+
+* splits the iteration space into chunks per an OpenMP-style schedule
+  (``static`` / ``dynamic`` / ``guided``),
+* *actually executes* the chunk kernels, in the interleaving a real
+  machine would produce (event-driven simulation of per-thread clocks), with
+  shared-state updates committed at each chunk's simulated completion time —
+  so kernels genuinely observe stale data exactly when concurrent chunks
+  would still be in flight, and
+* charges per-chunk costs to simulated threads, yielding a deterministic
+  simulated wall-clock (makespan + dispatch + barrier overheads) under a
+  configurable machine model with turbo frequency scaling and SMT.
+
+See DESIGN.md §1 for why this substitution preserves the paper's scaling
+and staleness phenomenology.
+"""
+
+from repro.parallel.machine import Machine, PAPER_MACHINE
+from repro.parallel.scheduling import (
+    Chunk,
+    Schedule,
+    static_schedule,
+    dynamic_schedule,
+    guided_schedule,
+    make_schedule,
+)
+from repro.parallel.runtime import ParallelRuntime, ParallelForStats
+from repro.parallel.metrics import TimingReport, ScalingPoint, strong_scaling_table
+
+__all__ = [
+    "Machine",
+    "PAPER_MACHINE",
+    "Chunk",
+    "Schedule",
+    "static_schedule",
+    "dynamic_schedule",
+    "guided_schedule",
+    "make_schedule",
+    "ParallelRuntime",
+    "ParallelForStats",
+    "TimingReport",
+    "ScalingPoint",
+    "strong_scaling_table",
+]

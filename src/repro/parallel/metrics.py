@@ -1,0 +1,65 @@
+"""Timing reports and scaling-study helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TimingReport", "ScalingPoint", "strong_scaling_table"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Simulated timing of one algorithm run.
+
+    Attributes
+    ----------
+    total:
+        Total simulated seconds.
+    sections:
+        Per-phase breakdown (e.g. ``move``, ``coarsen``, ``prolong``).
+    threads:
+        Thread count the run used.
+    """
+
+    total: float
+    threads: int
+    sections: dict[str, float] = field(default_factory=dict)
+
+    def rate(self, work: float) -> float:
+        """Processing rate (work units per simulated second)."""
+        return work / self.total if self.total > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong/weak scaling curve."""
+
+    threads: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling_table(
+    run: Callable[[int], float],
+    thread_counts: list[int],
+) -> list[ScalingPoint]:
+    """Run ``run(threads) -> simulated seconds`` over ``thread_counts`` and
+    derive speedups relative to the first entry (usually 1 thread)."""
+    if not thread_counts:
+        return []
+    times = [run(t) for t in thread_counts]
+    base_t, base_time = thread_counts[0], times[0]
+    points = []
+    for t, time in zip(thread_counts, times):
+        speedup = base_time / time if time > 0 else float("inf")
+        points.append(
+            ScalingPoint(
+                threads=t,
+                time=time,
+                speedup=speedup,
+                efficiency=speedup / (t / base_t),
+            )
+        )
+    return points

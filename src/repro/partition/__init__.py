@@ -1,0 +1,50 @@
+"""Partitions (community-detection solutions) and their quality measures.
+
+A solution ``zeta`` is a partition of the node set, represented — as in the
+paper's implementation — by an integer array indexed by node id containing
+community ids. This subpackage provides the :class:`Partition` wrapper, the
+objective functions (modularity with resolution parameter ``gamma``,
+coverage), solution-comparison measures (Jaccard / Rand / NMI, used for the
+LFR accuracy study and the ensemble-diversity analysis), and the hashing
+combiner that forms EPP's core communities.
+"""
+
+from repro.partition.partition import Partition
+from repro.partition.quality import coverage, modularity, community_volumes
+from repro.partition.compare import (
+    adjusted_rand_index,
+    jaccard_dissimilarity,
+    jaccard_index,
+    normalized_mutual_information,
+    pair_counts,
+    rand_index,
+)
+from repro.partition.cover import Cover
+from repro.partition.community_stats import (
+    CommunityProfile,
+    conductances,
+    internal_densities,
+    profile,
+)
+from repro.partition.hashing import combine_exact, combine_hashing, djb2_combine
+
+__all__ = [
+    "Partition",
+    "coverage",
+    "modularity",
+    "community_volumes",
+    "jaccard_index",
+    "jaccard_dissimilarity",
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "pair_counts",
+    "combine_exact",
+    "combine_hashing",
+    "djb2_combine",
+    "Cover",
+    "CommunityProfile",
+    "conductances",
+    "internal_densities",
+    "profile",
+]

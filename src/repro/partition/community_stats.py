@@ -1,0 +1,112 @@
+"""Per-community diagnostics: conductance, internal density, size profile.
+
+Modularity is the paper's global objective; these per-community measures
+support the *qualitative* analysis of §VI (how fine is the resolution,
+how cohesive are individual communities) and the analyst workflows in the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.partition.quality import community_volumes, intra_community_weight
+
+__all__ = ["CommunityProfile", "conductances", "internal_densities", "profile"]
+
+
+def _labels(communities) -> np.ndarray:
+    from repro.partition.partition import Partition
+
+    if isinstance(communities, Partition):
+        return communities.labels
+    return np.asarray(communities)
+
+
+def conductances(graph: Graph, communities) -> np.ndarray:
+    """Conductance per community: cut(C) / min(vol(C), vol(V \\ C)).
+
+    0 = perfectly separated; 1 = all volume crosses the boundary.
+    Communities spanning more than half the volume use the complement's
+    volume, per the standard definition.
+    """
+    labels = _labels(communities)
+    if labels.shape != (graph.n,):
+        raise ValueError("communities must label every node")
+    vols = community_volumes(graph, labels)
+    intra = intra_community_weight(graph, labels)
+    k = max(vols.size, intra.size)
+    vols = np.pad(vols, (0, k - vols.size))
+    intra = np.pad(intra, (0, k - intra.size))
+    total_vol = 2.0 * graph.total_edge_weight
+    # cut(C) = vol(C) - 2 * intra(C) (loops live fully inside).
+    cut = vols - 2.0 * intra
+    denom = np.minimum(vols, total_vol - vols)
+    out = np.ones(k, dtype=np.float64)
+    ok = denom > 0
+    out[ok] = cut[ok] / denom[ok]
+    return np.clip(out, 0.0, 1.0)
+
+
+def internal_densities(graph: Graph, communities) -> np.ndarray:
+    """Internal edge density per community: intra edges / possible pairs.
+
+    Communities of size < 2 report density 0.
+    """
+    labels = _labels(communities)
+    if labels.shape != (graph.n,):
+        raise ValueError("communities must label every node")
+    sizes = np.bincount(labels)
+    us, vs, _ = graph.edge_array()
+    same = labels[us] == labels[vs]
+    non_loop = us != vs
+    counts = np.bincount(
+        labels[us[same & non_loop]], minlength=sizes.size
+    ).astype(np.float64)
+    pairs = sizes.astype(np.float64) * (sizes - 1) / 2.0
+    out = np.zeros(sizes.size, dtype=np.float64)
+    ok = pairs > 0
+    out[ok] = counts[ok] / pairs[ok]
+    return out
+
+
+@dataclass(frozen=True)
+class CommunityProfile:
+    """Summary of a solution's community structure."""
+
+    k: int
+    size_min: int
+    size_median: float
+    size_max: int
+    mean_conductance: float
+    mean_internal_density: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.k,
+            self.size_min,
+            self.size_median,
+            self.size_max,
+            round(self.mean_conductance, 4),
+            round(self.mean_internal_density, 4),
+        )
+
+
+def profile(graph: Graph, communities) -> CommunityProfile:
+    """Aggregate per-community statistics for reporting."""
+    labels = _labels(communities)
+    sizes = np.bincount(labels)
+    sizes = sizes[sizes > 0]
+    cond = conductances(graph, labels)
+    dens = internal_densities(graph, labels)
+    return CommunityProfile(
+        k=int(sizes.size),
+        size_min=int(sizes.min()) if sizes.size else 0,
+        size_median=float(np.median(sizes)) if sizes.size else 0.0,
+        size_max=int(sizes.max()) if sizes.size else 0,
+        mean_conductance=float(cond.mean()) if cond.size else 0.0,
+        mean_internal_density=float(dens.mean()) if dens.size else 0.0,
+    )

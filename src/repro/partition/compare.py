@@ -1,0 +1,140 @@
+"""Solution-comparison measures.
+
+Used by the LFR accuracy study (Fig. 8: Jaccard index between detected and
+ground-truth communities) and the ensemble-diversity analysis (§V-D:
+Jaccard dissimilarity between base solutions). All measures are pair-count
+based and computed from the contingency table of the two partitions, which
+is assembled vectorized via a combined 64-bit key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pair_counts",
+    "jaccard_index",
+    "jaccard_dissimilarity",
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+]
+
+
+def _labels(x) -> np.ndarray:
+    from repro.partition.partition import Partition
+
+    if isinstance(x, Partition):
+        return x.labels
+    arr = np.asarray(x)
+    _, compact = np.unique(arr, return_inverse=True)
+    return compact.astype(np.int64)
+
+
+def pair_counts(a, b) -> tuple[float, float, float, float]:
+    """Pair-classification counts ``(n11, n10, n01, n00)``.
+
+    ``n11``: node pairs together in both partitions; ``n10``: together in
+    ``a`` only; ``n01``: together in ``b`` only; ``n00``: separate in both.
+    Computed from sums of binomial coefficients over the contingency table,
+    never by enumerating pairs.
+    """
+    la, lb = _labels(a), _labels(b)
+    if la.shape != lb.shape:
+        raise ValueError("partitions must cover the same node set")
+    n = la.size
+    if n == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    ka = int(la.max()) + 1
+    key = la * (int(lb.max()) + 1) + lb
+    nij = np.bincount(key).astype(np.float64)
+    ai = np.bincount(la).astype(np.float64)
+    bj = np.bincount(lb).astype(np.float64)
+
+    def choose2(x: np.ndarray) -> float:
+        return float((x * (x - 1) / 2.0).sum())
+
+    total = n * (n - 1) / 2.0
+    s11 = choose2(nij)
+    sa = choose2(ai)
+    sb = choose2(bj)
+    n11 = s11
+    n10 = sa - s11
+    n01 = sb - s11
+    n00 = total - sa - sb + s11
+    return n11, n10, n01, n00
+
+
+def jaccard_index(a, b) -> float:
+    """Pairwise Jaccard agreement: ``n11 / (n11 + n10 + n01)`` (1 = equal)."""
+    n11, n10, n01, _ = pair_counts(a, b)
+    denom = n11 + n10 + n01
+    return float(n11 / denom) if denom > 0 else 1.0
+
+
+def jaccard_dissimilarity(a, b) -> float:
+    """``1 - jaccard_index`` — the paper's base-solution diversity measure."""
+    return 1.0 - jaccard_index(a, b)
+
+
+def rand_index(a, b) -> float:
+    """(n11 + n00) / all pairs."""
+    n11, n10, n01, n00 = pair_counts(a, b)
+    total = n11 + n10 + n01 + n00
+    return float((n11 + n00) / total) if total > 0 else 1.0
+
+
+def adjusted_rand_index(a, b) -> float:
+    """Rand index corrected for chance (Hubert–Arabie)."""
+    la, lb = _labels(a), _labels(b)
+    if la.shape != lb.shape:
+        raise ValueError("partitions must cover the same node set")
+    n = la.size
+    if n <= 1:
+        return 1.0
+    key = la * (int(lb.max()) + 1) + lb
+    nij = np.bincount(key).astype(np.float64)
+    ai = np.bincount(la).astype(np.float64)
+    bj = np.bincount(lb).astype(np.float64)
+
+    def choose2(x: np.ndarray) -> float:
+        return float((x * (x - 1) / 2.0).sum())
+
+    total = n * (n - 1) / 2.0
+    s11 = choose2(nij)
+    sa = choose2(ai)
+    sb = choose2(bj)
+    expected = sa * sb / total
+    maximum = (sa + sb) / 2.0
+    if np.isclose(maximum, expected):
+        return 1.0
+    return float((s11 - expected) / (maximum - expected))
+
+
+def normalized_mutual_information(a, b) -> float:
+    """NMI with arithmetic-mean normalization (0 = independent, 1 = equal)."""
+    la, lb = _labels(a), _labels(b)
+    if la.shape != lb.shape:
+        raise ValueError("partitions must cover the same node set")
+    n = la.size
+    if n == 0:
+        return 1.0
+    kb = int(lb.max()) + 1
+    key = la * kb + lb
+    nij = np.bincount(key).astype(np.float64) / n
+    pi = np.bincount(la).astype(np.float64) / n
+    pj = np.bincount(lb).astype(np.float64) / n
+    nz = nij > 0
+    # Joint index decomposition to recover the marginals per cell.
+    cells = np.flatnonzero(nz)
+    ii = cells // kb
+    jj = cells % kb
+    mi = float(
+        (nij[cells] * np.log(nij[cells] / (pi[ii] * pj[jj]))).sum()
+    )
+    hi = float(-(pi[pi > 0] * np.log(pi[pi > 0])).sum())
+    hj = float(-(pj[pj > 0] * np.log(pj[pj > 0])).sum())
+    if hi == 0.0 and hj == 0.0:
+        return 1.0
+    denom = (hi + hj) / 2.0
+    return float(mi / denom) if denom > 0 else 0.0

@@ -1,0 +1,80 @@
+"""Cover: an *overlapping* community assignment (paper §VII future work).
+
+Unlike a :class:`~repro.partition.partition.Partition`, a cover lets a node
+belong to several communities. Minimal API: per-node label sets, per-label
+member arrays, overlap statistics, and conversion to a disjoint partition
+by dominant membership.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Cover"]
+
+
+class Cover:
+    """An overlapping community assignment over nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    memberships:
+        Sequence of per-node label collections (any iterable of ints).
+        Empty memberships are promoted to a singleton community.
+    """
+
+    __slots__ = ("_sets", "_labels")
+
+    def __init__(self, memberships) -> None:
+        sets = []
+        next_fresh = None
+        for v, labels in enumerate(memberships):
+            labels = frozenset(int(l) for l in labels)
+            sets.append(labels)
+        # Promote empty memberships to fresh singleton communities.
+        used = set().union(*sets) if sets else set()
+        fresh = (max(used) + 1) if used else 0
+        for v, labels in enumerate(sets):
+            if not labels:
+                sets[v] = frozenset({fresh})
+                fresh += 1
+        self._sets = sets
+        self._labels = sorted(set().union(*sets)) if sets else []
+
+    @property
+    def n(self) -> int:
+        return len(self._sets)
+
+    @property
+    def k(self) -> int:
+        """Number of distinct communities."""
+        return len(self._labels)
+
+    def memberships(self, v: int) -> frozenset[int]:
+        return self._sets[v]
+
+    def communities(self) -> dict[int, np.ndarray]:
+        """Label -> sorted member node ids."""
+        out: dict[int, list[int]] = {l: [] for l in self._labels}
+        for v, labels in enumerate(self._sets):
+            for l in labels:
+                out[l].append(v)
+        return {l: np.asarray(vs, dtype=np.int64) for l, vs in out.items()}
+
+    def overlap_counts(self) -> np.ndarray:
+        """Number of communities each node belongs to."""
+        return np.asarray([len(s) for s in self._sets], dtype=np.int64)
+
+    def overlapping_nodes(self) -> np.ndarray:
+        """Nodes in more than one community."""
+        return np.flatnonzero(self.overlap_counts() > 1)
+
+    def to_partition(self, tie_break: str = "smallest") -> np.ndarray:
+        """Disjoint labels by picking one membership per node."""
+        out = np.empty(self.n, dtype=np.int64)
+        for v, labels in enumerate(self._sets):
+            out[v] = min(labels) if tie_break == "smallest" else max(labels)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Cover n={self.n} k={self.k} overlapping={self.overlapping_nodes().size}>"

@@ -1,0 +1,103 @@
+"""Array-backed partition of a node set into disjoint communities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """A disjoint community assignment over nodes ``0 .. n-1``.
+
+    Thin immutable wrapper around an integer label array; community ids are
+    compacted to ``0 .. k-1`` at construction. Equality is
+    *structural* — two partitions are equal iff they group nodes
+    identically, regardless of label values.
+    """
+
+    __slots__ = ("labels", "_sizes")
+
+    def __init__(self, labels: np.ndarray) -> None:
+        labels = np.asarray(labels)
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D array")
+        if labels.size and labels.min() < 0:
+            raise ValueError("labels must be non-negative")
+        _, compact = np.unique(labels, return_inverse=True)
+        compact = compact.astype(np.int64)
+        compact.setflags(write=False)
+        self.labels = compact
+        sizes = np.bincount(compact) if compact.size else np.empty(0, np.int64)
+        sizes.setflags(write=False)
+        self._sizes = sizes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def singletons(cls, n: int) -> "Partition":
+        """Every node in its own community."""
+        return cls(np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def one_community(cls, n: int) -> "Partition":
+        """All nodes in a single community."""
+        return cls(np.zeros(n, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.labels.size
+
+    @property
+    def k(self) -> int:
+        """Number of communities."""
+        return int(self._sizes.size)
+
+    def sizes(self) -> np.ndarray:
+        """Community sizes indexed by compact community id."""
+        return self._sizes
+
+    def members(self, community: int) -> np.ndarray:
+        """Node ids belonging to ``community``."""
+        return np.flatnonzero(self.labels == community)
+
+    def __getitem__(self, v: int) -> int:
+        return int(self.labels[v])
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    def refines(self, other: "Partition") -> bool:
+        """``True`` if every community of ``self`` lies inside one
+        community of ``other`` (self is finer or equal)."""
+        if self.n != other.n:
+            raise ValueError("partitions must cover the same node set")
+        if self.n == 0:
+            return True
+        # For each of self's communities, all members must share other-label.
+        order = np.argsort(self.labels, kind="stable")
+        own = self.labels[order]
+        theirs = other.labels[order]
+        boundary = np.empty(self.n, dtype=bool)
+        boundary[0] = True
+        np.not_equal(own[1:], own[:-1], out=boundary[1:])
+        # Within a block of `own`, all `theirs` values must be equal.
+        same_as_prev = np.empty(self.n, dtype=bool)
+        same_as_prev[0] = True
+        np.equal(theirs[1:], theirs[:-1], out=same_as_prev[1:])
+        return bool(np.all(boundary | same_as_prev))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        if self.n != other.n:
+            return False
+        return self.refines(other) and other.refines(self)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.k))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Partition n={self.n} k={self.k}>"

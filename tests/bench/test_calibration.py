@@ -1,0 +1,71 @@
+"""Calibration guard: the machine model must keep producing the paper's
+processing-rate and speedup regimes (§V-H anchors).
+
+These bands protect the benchmark suite from silent model regressions:
+if a change to the runtime or machine model moves PLP/PLM out of the
+paper's regime, this fails before the figures quietly drift.
+"""
+
+import pytest
+
+from repro.community import PLM, PLP
+from repro.graph.lfr import lfr_graph
+
+
+@pytest.fixture(scope="module")
+def reference_instance():
+    return lfr_graph(
+        20000, avg_degree=20, max_degree=200, mu=0.15,
+        min_community=20, max_community=200, seed=77,
+    ).graph
+
+
+class TestRateCalibration:
+    def test_plp_rate_regime(self, reference_instance):
+        g = reference_instance
+        t = PLP(threads=32, seed=0).run(g).timing.total
+        rate = g.m / t
+        # Paper: >53M edges/s on the massive instance; tens of millions
+        # is the calibrated regime.
+        assert 1.5e7 <= rate <= 1.5e8
+
+    def test_plm_rate_regime(self, reference_instance):
+        g = reference_instance
+        t = PLM(threads=32, seed=0).run(g).timing.total
+        rate = g.m / t
+        # Paper: >12M edges/s.
+        assert 4e6 <= rate <= 4e7
+
+    def test_plp_faster_than_plm(self, reference_instance):
+        g = reference_instance
+        t_plp = PLP(threads=32, seed=0).run(g).timing.total
+        t_plm = PLM(threads=32, seed=0).run(g).timing.total
+        # Paper: PLP solves instances in 10-20% of PLM's time.
+        assert 0.03 <= t_plp / t_plm <= 0.6
+
+
+class TestSpeedupCalibration:
+    def test_plp_speedup_band(self, reference_instance):
+        g = reference_instance
+        t1 = PLP(threads=1, seed=0).run(g).timing.total
+        t32 = PLP(threads=32, seed=0).run(g).timing.total
+        assert 4.0 <= t1 / t32 <= 13.0  # paper: ~8
+
+    def test_plm_speedup_band(self, reference_instance):
+        g = reference_instance
+        t1 = PLM(threads=1, seed=0).run(g).timing.total
+        t32 = PLM(threads=32, seed=0).run(g).timing.total
+        assert 7.0 <= t1 / t32 <= 20.0  # paper: ~12
+
+    def test_plm_scales_better_than_plp(self, reference_instance):
+        """PLM's higher arithmetic intensity must buy it more speedup."""
+        g = reference_instance
+        plp = (
+            PLP(threads=1, seed=0).run(g).timing.total
+            / PLP(threads=32, seed=0).run(g).timing.total
+        )
+        plm = (
+            PLM(threads=1, seed=0).run(g).timing.total
+            / PLM(threads=32, seed=0).run(g).timing.total
+        )
+        assert plm > plp

@@ -1,0 +1,53 @@
+"""Tests for the benchmark dataset registry."""
+
+import pytest
+
+from repro.bench.datasets import DATASETS, load_dataset, main_suite
+
+
+class TestRegistry:
+    def test_fourteen_instances(self):
+        assert len(DATASETS) == 14
+
+    def test_main_suite_excludes_massive(self):
+        suite = main_suite()
+        assert len(suite) == 13
+        assert "uk-2007-05" not in suite
+
+    def test_paper_order_ascending_size(self):
+        sizes = [DATASETS[name].paper_m for name in DATASETS]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook")
+
+    def test_specs_have_paper_sizes(self):
+        for spec in DATASETS.values():
+            assert spec.paper_n > 0
+            assert spec.paper_m > 0
+            assert spec.category
+
+
+class TestInstances:
+    @pytest.mark.parametrize("name", ["power", "PGPgiantcompo", "as-22july06"])
+    def test_small_instances_build(self, name):
+        g = load_dataset(name)
+        assert g.name == name
+        assert g.n > 1000
+        assert g.m > 1000
+
+    def test_caching(self):
+        assert load_dataset("power") is load_dataset("power")
+
+    def test_road_network_bounded_degree(self):
+        g = load_dataset("europe-osm")
+        assert g.degrees().max() <= 4
+
+    def test_planted_instance_has_weak_structure(self):
+        from repro.community import PLM
+        from repro.partition.quality import modularity
+
+        g = load_dataset("G_n_pin_pout")
+        q = modularity(g, PLM(threads=8, seed=0).run(g).partition)
+        assert 0.05 < q < 0.7  # present but weak, as in the paper

@@ -1,0 +1,106 @@
+"""Tests for the experiment harness and Pareto machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRow,
+    aggregate_rows,
+    relative_to_baseline,
+    run_matrix,
+)
+from repro.bench.pareto import ParetoPoint, pareto_frontier, pareto_scores
+from repro.bench.report import format_table
+from repro.community import PLM, PLP
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    graphs = [
+        generators.clique_pair(6, 1),
+        generators.planted_partition(200, 4, 0.3, 0.01, seed=1)[0],
+    ]
+    algorithms = {
+        "PLP": lambda s: PLP(threads=4, seed=s),
+        "PLM": lambda s: PLM(threads=4, seed=s),
+    }
+    return run_matrix(algorithms, graphs, runs=2)
+
+
+class TestRunMatrix:
+    def test_one_row_per_cell(self, small_matrix):
+        assert len(small_matrix) == 4
+        assert {r.algorithm for r in small_matrix} == {"PLP", "PLM"}
+        assert len({r.network for r in small_matrix}) == 2
+
+    def test_rows_are_averaged(self, small_matrix):
+        assert all(r.runs == 2 for r in small_matrix)
+        assert all(r.time > 0 for r in small_matrix)
+
+    def test_aggregate_index(self, small_matrix):
+        index = aggregate_rows(small_matrix)
+        assert ("PLP", "clique-pair") in index
+
+
+class TestRelativeToBaseline:
+    def test_baseline_excluded(self, small_matrix):
+        rel = relative_to_baseline(small_matrix, baseline="PLM")
+        assert all(r["algorithm"] != "PLM" for r in rel)
+        assert len(rel) == 2
+
+    def test_ratios_and_diffs(self, small_matrix):
+        index = aggregate_rows(small_matrix)
+        rel = relative_to_baseline(small_matrix, baseline="PLM")
+        for r in rel:
+            plm = index[("PLM", r["network"])]
+            plp = index[("PLP", r["network"])]
+            assert r["mod_diff"] == pytest.approx(plp.modularity - plm.modularity)
+            assert r["time_ratio"] == pytest.approx(plp.time / plm.time)
+
+    def test_missing_baseline_raises(self, small_matrix):
+        with pytest.raises(KeyError):
+            relative_to_baseline(small_matrix, baseline="nope")
+
+
+class TestPareto:
+    def test_baseline_scores_unity(self, small_matrix):
+        points = {p.algorithm: p for p in pareto_scores(small_matrix)}
+        assert points["PLM"].time_score == pytest.approx(1.0)
+        assert points["PLM"].mod_score == pytest.approx(0.0)
+
+    def test_dominance(self):
+        fast_good = ParetoPoint("a", 0.5, 0.1)
+        slow_bad = ParetoPoint("b", 2.0, -0.1)
+        incomparable = ParetoPoint("c", 0.1, -0.2)
+        assert fast_good.dominates(slow_bad)
+        assert not slow_bad.dominates(fast_good)
+        assert not fast_good.dominates(incomparable)
+
+    def test_frontier(self):
+        pts = [
+            ParetoPoint("a", 0.5, 0.0),
+            ParetoPoint("b", 1.0, 0.05),
+            ParetoPoint("c", 1.5, 0.01),  # dominated by b
+        ]
+        frontier = {p.algorithm for p in pareto_frontier(pts)}
+        assert frontier == {"a", "b"}
+
+    def test_frontier_never_empty(self, small_matrix):
+        assert pareto_frontier(pareto_scores(small_matrix))
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [("x", 1.5), ("longer", 0.25)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len({len(l) for l in lines[2:]}) >= 1
+
+    def test_format_numbers(self):
+        table = format_table(["v"], [(0.123456,), (1234567.0,), (0,)])
+        assert "0.1235" in table
+        assert "1.23e+06" in table

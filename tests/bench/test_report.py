@@ -1,0 +1,42 @@
+"""Tests for the report writer."""
+
+import os
+
+from repro.bench.report import format_table, results_dir, write_report
+
+
+class TestResultsDir:
+    def test_points_into_benchmarks(self):
+        path = results_dir()
+        assert path.endswith(os.path.join("benchmarks", "results"))
+        assert os.path.isdir(path)
+
+
+class TestWriteReport:
+    def test_writes_and_echoes(self, capsys):
+        path = write_report("_test_report", "hello\nworld")
+        try:
+            with open(path) as fh:
+                assert fh.read() == "hello\nworld\n"
+            assert "hello" in capsys.readouterr().out
+        finally:
+            os.unlink(path)
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        lines = table.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_mixed_types(self):
+        table = format_table(
+            ["name", "int", "float"], [("x", 3, 0.5), ("y", 10, 123.456)]
+        )
+        assert "123.456" in table
+        assert "x" in table
+
+    def test_column_alignment(self):
+        table = format_table(["col"], [("short",), ("muchlongercell",)])
+        header, rule, *rows = table.splitlines()
+        assert len(rule) == len("muchlongercell")

@@ -1,0 +1,162 @@
+"""Tests for the competitor baselines (Louvain, CLU, CEL, CNM, RG, CGGC)."""
+
+import numpy as np
+import pytest
+
+from repro.community import CEL, CGGC, CGGCi, CLU, CNM, PLM, RG, Louvain
+from repro.community.baselines._merge import MergeStructure
+from repro.graph import GraphBuilder, from_edges, generators
+from repro.partition.compare import jaccard_index
+from repro.partition.quality import modularity
+
+ALL_BASELINES = [Louvain, CLU, CEL, CNM, RG, CGGC, CGGCi]
+
+
+class TestAllBaselinesBasics:
+    @pytest.mark.parametrize("Alg", ALL_BASELINES)
+    def test_two_cliques(self, Alg, clique_pair):
+        result = Alg(seed=0).run(clique_pair)
+        assert result.partition.k == 2
+
+    @pytest.mark.parametrize("Alg", ALL_BASELINES)
+    def test_empty_graph(self, Alg):
+        result = Alg(seed=0).run(GraphBuilder(0).build())
+        assert result.partition.n == 0
+
+    @pytest.mark.parametrize("Alg", ALL_BASELINES)
+    def test_isolated_nodes(self, Alg):
+        result = Alg(seed=0).run(GraphBuilder(4).build())
+        assert result.partition.n == 4
+
+    @pytest.mark.parametrize("Alg", [Louvain, RG])
+    def test_planted_partition(self, Alg, planted):
+        graph, truth = planted
+        result = Alg(seed=1).run(graph)
+        assert jaccard_index(result.labels, truth) > 0.7
+
+    def test_clu_planted_partition_coarser_but_sane(self, planted):
+        """Pairwise matching agglomerates more coarsely than local moves
+        (the paper places CLU's quality below PLM) but must still find
+        most of the planted structure."""
+        graph, truth = planted
+        result = CLU(seed=1).run(graph)
+        assert modularity(graph, result.partition) > 0.4
+        assert jaccard_index(result.labels, truth) > 0.4
+
+
+class TestMergeStructure:
+    def test_delta_formula(self, clique_pair):
+        ms = MergeStructure(clique_pair)
+        # Merging two adjacent singleton nodes u,v changes modularity by
+        # w(u,v)/omega - vol(u)vol(v)/(2 omega^2).
+        omega = clique_pair.total_edge_weight
+        u, v = 0, 1
+        expected = 1.0 / omega - (
+            clique_pair.volume(u) * clique_pair.volume(v) / (2 * omega**2)
+        )
+        assert ms.delta(u, v) == pytest.approx(expected)
+
+    def test_delta_matches_modularity_difference(self):
+        g = generators.erdos_renyi(30, 0.2, seed=3)
+        ms = MergeStructure(g)
+        labels_before = np.arange(g.n)
+        # merge nodes 0 and 1 if adjacent; otherwise pick an edge.
+        us, vs, _ = g.edge_array()
+        u, v = int(us[0]), int(vs[0])
+        gain = ms.delta(u, v)
+        labels_after = labels_before.copy()
+        labels_after[v] = labels_after[u]
+        diff = modularity(g, labels_after) - modularity(g, labels_before)
+        assert gain == pytest.approx(diff)
+
+    def test_merge_bookkeeping(self, triangle):
+        ms = MergeStructure(triangle)
+        keep = ms.merge(0, 1)
+        assert len(ms.active) == 2
+        # Weight from merged community to node 2 is 1 + 1 = 2.
+        other = 2
+        assert ms.adj[keep][other] == pytest.approx(2.0)
+        assert ms.volumes[keep] == pytest.approx(4.0)
+
+    def test_merge_self_rejected(self, triangle):
+        ms = MergeStructure(triangle)
+        with pytest.raises(ValueError):
+            ms.merge(0, 0)
+
+    def test_labels_after_merges(self, clique_pair):
+        ms = MergeStructure(clique_pair)
+        ms.merge(0, 1)
+        ms.merge(0 if 0 in ms.active else 1, 2)
+        labels = ms.labels()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[0] != labels[5]
+
+
+class TestQualityOrdering:
+    """The paper's qualitative ranking on a structured graph."""
+
+    @pytest.fixture(scope="class")
+    def structured(self):
+        g, _ = generators.planted_partition(800, 16, 0.15, 0.005, seed=10)
+        return g
+
+    def test_cel_below_clu(self, structured):
+        clu = modularity(structured, CLU(seed=0).run(structured).partition)
+        cel = modularity(structured, CEL(seed=0).run(structured).partition)
+        assert cel <= clu + 0.02
+
+    def test_rg_family_strong(self, structured):
+        rg = modularity(structured, RG(seed=0).run(structured).partition)
+        plm = modularity(structured, PLM(threads=8, seed=0).run(structured).partition)
+        assert rg > plm - 0.03
+
+    def test_cggci_at_least_cggc(self, structured):
+        cggc = modularity(structured, CGGC(seed=0).run(structured).partition)
+        cggci = modularity(structured, CGGCi(seed=0).run(structured).partition)
+        assert cggci >= cggc - 0.02
+
+
+class TestLouvainSpecifics:
+    def test_randomized_order_changes_with_seed(self, planted):
+        graph, _ = planted
+        a = Louvain(seed=0).run(graph)
+        b = Louvain(seed=99).run(graph)
+        # Both good, not necessarily identical.
+        assert modularity(graph, a.partition) > 0.5
+        assert modularity(graph, b.partition) > 0.5
+
+    def test_single_threaded_by_design(self):
+        assert Louvain().threads == 1
+
+    def test_monotone_levels(self, planted):
+        graph, _ = planted
+        result = Louvain(seed=1).run(graph)
+        assert result.info["levels"] >= 1
+
+
+class TestCLUSpecifics:
+    def test_star_adaptation_contracts_stars(self):
+        g = generators.star(64)
+        clu = CLU(seed=0).run(g)
+        cel = CEL(seed=0).run(g)
+        # With star adaptation the hub absorbs leaves quickly; without it
+        # a matching contracts at most one leaf per round.
+        assert clu.info["rounds"] <= cel.info["rounds"]
+
+    def test_rounds_reported(self, planted):
+        graph, _ = planted
+        result = CLU(threads=8, seed=0).run(graph)
+        assert result.info["rounds"] >= 1
+
+    def test_parallel_time_scales(self, planted):
+        graph, _ = planted
+        t1 = CLU(threads=1, seed=0).run(graph).timing.total
+        t16 = CLU(threads=16, seed=0).run(graph).timing.total
+        assert t16 < t1
+
+
+class TestCNMSpecifics:
+    def test_merges_positive_gain_only(self, clique_pair):
+        result = CNM().run(clique_pair)
+        assert modularity(clique_pair, result.partition) > 0.3
+        assert result.info["merges"] >= 8

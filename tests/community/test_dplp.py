@@ -1,0 +1,95 @@
+"""Tests for incremental label propagation (DynamicPLP)."""
+
+import numpy as np
+import pytest
+
+from repro.community import PLP, DynamicPLP
+from repro.graph import DynamicGraph, generators
+from repro.partition.compare import jaccard_index
+from repro.partition.quality import modularity
+
+
+@pytest.fixture
+def planted_dynamic():
+    graph, truth = generators.planted_partition(600, 12, 0.2, 0.005, seed=20)
+    return graph, truth
+
+
+class TestProtocol:
+    def test_update_before_run_rejected(self, planted_dynamic):
+        graph, _ = planted_dynamic
+        with pytest.raises(RuntimeError):
+            DynamicPLP().update(graph, [])
+
+    def test_node_count_change_rejected(self, planted_dynamic):
+        graph, _ = planted_dynamic
+        dplp = DynamicPLP(seed=0)
+        dplp.run(graph)
+        small = generators.ring(5)
+        with pytest.raises(ValueError):
+            dplp.update(small, [])
+
+    def test_empty_batch_is_cheap_noop(self, planted_dynamic):
+        graph, _ = planted_dynamic
+        dplp = DynamicPLP(seed=0)
+        first = dplp.run(graph)
+        updated = dplp.update(graph, [])
+        assert np.array_equal(updated.labels, first.labels)
+        assert updated.info["iterations"] == 0
+
+
+class TestIncrementalQuality:
+    def _edit(self, graph, truth, n_add=30, n_remove=10, seed=0):
+        rng = np.random.default_rng(seed)
+        dyn = DynamicGraph.from_graph(graph)
+        for _ in range(n_add):
+            c = rng.integers(0, truth.max() + 1)
+            members = np.flatnonzero(truth == c)
+            u, v = rng.choice(members, 2, replace=False)
+            if not dyn.has_edge(int(u), int(v)):
+                dyn.add_edge(int(u), int(v))
+        us, vs, _ = graph.edge_array()
+        for idx in rng.choice(us.size, n_remove, replace=False):
+            if dyn.has_edge(int(us[idx]), int(vs[idx])):
+                dyn.remove_edge(int(us[idx]), int(vs[idx]))
+        return dyn.freeze(), dyn.drain_events()
+
+    def test_matches_from_scratch_quality(self, planted_dynamic):
+        graph, truth = planted_dynamic
+        dplp = DynamicPLP(threads=8, seed=1)
+        dplp.run(graph)
+        new_graph, events = self._edit(graph, truth, seed=1)
+        incremental = dplp.update(new_graph, events)
+        scratch = PLP(threads=8, seed=1).run(new_graph)
+        inc_mod = modularity(new_graph, incremental.partition)
+        scr_mod = modularity(new_graph, scratch.partition)
+        assert inc_mod > scr_mod - 0.05
+        assert jaccard_index(incremental.labels, truth) > 0.8
+
+    def test_cheaper_than_from_scratch(self, planted_dynamic):
+        graph, truth = planted_dynamic
+        dplp = DynamicPLP(threads=8, seed=2)
+        dplp.run(graph)
+        new_graph, events = self._edit(graph, truth, n_add=10, n_remove=5, seed=2)
+        incremental = dplp.update(new_graph, events)
+        scratch = PLP(threads=8, seed=2).run(new_graph)
+        assert incremental.timing.total < scratch.timing.total
+
+    def test_successive_batches(self, planted_dynamic):
+        graph, truth = planted_dynamic
+        dplp = DynamicPLP(threads=8, seed=3)
+        dplp.run(graph)
+        current = graph
+        for batch in range(3):
+            current, events = self._edit(current, truth, seed=10 + batch)
+            result = dplp.update(current, events)
+            assert modularity(current, result.partition) > 0.4
+
+    def test_info_reports_batch(self, planted_dynamic):
+        graph, truth = planted_dynamic
+        dplp = DynamicPLP(seed=4)
+        dplp.run(graph)
+        new_graph, events = self._edit(graph, truth, seed=4)
+        result = dplp.update(new_graph, events)
+        assert result.info["events"] == len(events)
+        assert result.info["seeds"] >= 1

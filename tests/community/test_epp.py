@@ -1,0 +1,120 @@
+"""Tests for ensemble preprocessing (EPP)."""
+
+import numpy as np
+import pytest
+
+from repro.community import EPP, PLM, PLMR, PLP
+from repro.graph import GraphBuilder
+from repro.partition import Partition
+from repro.partition.compare import jaccard_index
+from repro.partition.quality import modularity
+
+
+class TestBasicBehaviour:
+    def test_two_cliques(self, clique_pair):
+        result = EPP(seed=0).run(clique_pair)
+        assert result.partition.k == 2
+
+    def test_planted(self, planted):
+        graph, truth = planted
+        result = EPP(threads=32, seed=1).run(graph)
+        assert jaccard_index(result.labels, truth) > 0.8
+
+    def test_name_reflects_configuration(self):
+        assert EPP(ensemble_size=4).name == "EPP(4,PLP,PLM)"
+        epp = EPP(ensemble_size=2, final_factory=lambda s: PLMR(seed=s))
+        assert epp.name == "EPP(2,PLP,PLMR)"
+
+    def test_info_reports_core_groups(self, planted):
+        graph, _ = planted
+        result = EPP(seed=2).run(graph)
+        rounds = result.info["rounds"]
+        assert len(rounds) == 1
+        assert rounds[0]["base_solution_count"] == 4
+        assert 1 <= rounds[0]["core_communities"] <= graph.n
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EPP(ensemble_size=0)
+        with pytest.raises(ValueError):
+            EPP(iterations=0)
+
+    def test_trivial_graph(self):
+        result = EPP(seed=0).run(GraphBuilder(3).build())
+        assert result.partition.n == 3
+
+
+class TestEnsembleSemantics:
+    def test_core_groups_refine_bases(self, planted):
+        """The coarsening must respect every base solution (eq. III.2)."""
+        graph, _ = planted
+        bases = [PLP(seed=s).run(graph).labels for s in range(3)]
+        from repro.partition.hashing import combine_hashing
+
+        core = Partition(combine_hashing(bases))
+        for base in bases:
+            assert core.refines(Partition(base))
+
+    def test_custom_base_and_final(self, planted):
+        graph, _ = planted
+        epp = EPP(
+            threads=8,
+            ensemble_size=2,
+            base_factory=lambda s: PLM(seed=s),
+            final_factory=lambda s: PLP(seed=s),
+            seed=3,
+        )
+        result = epp.run(graph)
+        assert modularity(graph, result.partition) > 0.3
+
+    def test_ensemble_diversity_seeds(self, planted):
+        """Base instances must receive different seeds."""
+        graph, _ = planted
+        seen = []
+
+        def spy_factory(s):
+            seen.append(s)
+            return PLP(seed=s)
+
+        EPP(ensemble_size=4, base_factory=spy_factory, seed=0).run(graph)
+        assert len(set(seen)) == 4
+
+    def test_iterated_scheme_runs(self, planted):
+        graph, _ = planted
+        result = EPP(threads=8, iterations=3, seed=4).run(graph)
+        assert 1 <= result.info["rounds_done"] <= 3
+        assert modularity(graph, result.partition) > 0.3
+
+    def test_iterated_never_below_single_round(self, planted):
+        """Regression: a quality-degrading extra round must be discarded,
+        so the iterated scheme cannot end up much worse than plain EPP."""
+        graph, _ = planted
+        single = EPP(threads=8, iterations=1, seed=5).run(graph)
+        iterated = EPP(threads=8, iterations=4, seed=5).run(graph)
+        q1 = modularity(graph, single.partition)
+        qi = modularity(graph, iterated.partition)
+        assert qi > q1 - 0.1
+        assert iterated.partition.k > 1  # no collapse to one community
+
+
+class TestTimingModel:
+    def test_nested_parallelism_spends_time(self, planted):
+        graph, _ = planted
+        result = EPP(threads=32, seed=5).run(graph)
+        assert result.timing.total > 0
+        assert "final" in result.timing.sections
+
+    def test_deterministic(self, planted):
+        graph, _ = planted
+        a = EPP(threads=8, seed=6).run(graph)
+        b = EPP(threads=8, seed=6).run(graph)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.timing.total == b.timing.total
+
+    def test_faster_than_final_alone_or_close(self, planted):
+        """EPP's coarsening should keep the final phase cheap: EPP must not
+        cost more than a small multiple of a full PLM run."""
+        graph, _ = planted
+        epp_t = EPP(threads=32, seed=7).run(graph).timing.total
+        plm_t = PLM(threads=32, seed=7).run(graph).timing.total
+        assert epp_t < 5 * plm_t

@@ -1,0 +1,124 @@
+"""Tests for the shared vectorized neighborhood kernels."""
+
+import numpy as np
+import pytest
+
+from repro.community._kernels import (
+    LabelGroups,
+    gather_neighborhoods,
+    group_label_weights,
+)
+from repro.graph import GraphBuilder, from_edges
+
+
+@pytest.fixture
+def weighted_graph():
+    # 0 -1.0- 1, 0 -2.0- 2, 1 -0.5- 2, loop at 2 (3.0)
+    b = GraphBuilder(3)
+    b.add_edge(0, 1, 1.0)
+    b.add_edge(0, 2, 2.0)
+    b.add_edge(1, 2, 0.5)
+    b.add_edge(2, 2, 3.0)
+    return b.build()
+
+
+class TestGather:
+    def test_flattening(self, weighted_graph):
+        seg, nbrs, ws = gather_neighborhoods(weighted_graph, np.array([0, 2]))
+        # Node 0 has neighbors 1, 2; node 2 has 0, 1 (loop excluded).
+        assert seg.tolist() == [0, 0, 1, 1]
+        assert nbrs.tolist() == [1, 2, 0, 1]
+        assert ws.tolist() == [1.0, 2.0, 2.0, 0.5]
+
+    def test_loops_excluded(self, weighted_graph):
+        seg, nbrs, _ = gather_neighborhoods(weighted_graph, np.array([2]))
+        assert 2 not in nbrs.tolist()
+
+    def test_empty_nodes(self, weighted_graph):
+        seg, nbrs, ws = gather_neighborhoods(weighted_graph, np.array([], dtype=int))
+        assert seg.size == nbrs.size == ws.size == 0
+
+    def test_isolated_node(self):
+        g = GraphBuilder(3).build()
+        seg, nbrs, _ = gather_neighborhoods(g, np.array([0, 1]))
+        assert seg.size == 0
+
+
+class TestGroupLabelWeights:
+    def test_aggregation(self, weighted_graph):
+        labels = np.array([7, 7, 9])
+        groups = group_label_weights(weighted_graph, np.array([0]), labels)
+        # Node 0: weight 1.0 to label 7 (node 1), 2.0 to label 9 (node 2).
+        lookup = {
+            (int(s), int(l)): w
+            for s, l, w in zip(groups.gseg, groups.glab, groups.gw)
+        }
+        assert lookup == {(0, 7): 1.0, (0, 9): 2.0}
+
+    def test_same_label_neighbors_summed(self):
+        g = from_edges(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 4.0)])
+        labels = np.array([0, 5, 5, 6])
+        groups = group_label_weights(g, np.array([0]), labels)
+        lookup = dict(zip(groups.glab.tolist(), groups.gw.tolist()))
+        assert lookup == {5: 3.0, 6: 4.0}
+
+    def test_weight_to_label(self, weighted_graph):
+        labels = np.array([7, 7, 9])
+        groups = group_label_weights(weighted_graph, np.array([0, 1]), labels)
+        cur = labels[np.array([0, 1])]
+        w_cur = groups.weight_to_label(2, cur)
+        # Node 0 -> label 7 weight 1.0; node 1 -> label 7 weight 1.0.
+        assert w_cur.tolist() == [1.0, 1.0]
+
+    def test_weight_to_absent_label_zero(self, weighted_graph):
+        labels = np.array([1, 2, 3])
+        groups = group_label_weights(weighted_graph, np.array([0]), labels)
+        assert groups.weight_to_label(1, np.array([1]))[0] == 0.0
+
+    def test_argmax_per_segment(self, weighted_graph):
+        labels = np.array([7, 7, 9])
+        groups = group_label_weights(weighted_graph, np.array([0]), labels)
+        has, best_lab, best_w = groups.argmax_per_segment(1)
+        assert has[0]
+        assert best_lab[0] == 9  # weight 2.0 beats 1.0
+        assert best_w[0] == 2.0
+
+    def test_argmax_custom_score(self, weighted_graph):
+        labels = np.array([7, 7, 9])
+        groups = group_label_weights(weighted_graph, np.array([0]), labels)
+        # Invert the scores: label 7 should now win.
+        has, best_lab, _ = groups.argmax_per_segment(1, score=-groups.gw)
+        assert best_lab[0] == 7
+
+    def test_argmax_empty_segment(self):
+        g = GraphBuilder(2).build()
+        groups = group_label_weights(g, np.array([0, 1]), np.array([0, 1]))
+        has, _, _ = groups.argmax_per_segment(2)
+        assert not has.any()
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        from repro.graph import generators
+
+        g = generators.erdos_renyi(40, 0.2, seed=3)
+        labels = rng.integers(0, 5, size=40)
+        nodes = np.arange(40)
+        groups = group_label_weights(g, nodes, labels)
+        has, best_lab, best_w = groups.argmax_per_segment(40)
+        for v in range(40):
+            nbrs = g.neighbors(v)
+            ws = g.neighbor_weights(v)
+            keep = nbrs != v
+            nbrs, ws = nbrs[keep], ws[keep]
+            if nbrs.size == 0:
+                assert not has[v]
+                continue
+            agg = {}
+            for u, w in zip(nbrs, ws):
+                agg[labels[u]] = agg.get(labels[u], 0.0) + w
+            expected_w = max(agg.values())
+            assert has[v]
+            assert best_w[v] == pytest.approx(expected_w)
+            # Tie-break: the largest label among maxima.
+            maxima = [l for l, w in agg.items() if np.isclose(w, expected_w)]
+            assert best_lab[v] == max(maxima)

@@ -1,0 +1,109 @@
+"""Tests for overlapping label propagation (OLP) and the Cover type."""
+
+import numpy as np
+import pytest
+
+from repro.community import OLP
+from repro.graph import GraphBuilder, generators
+from repro.partition.compare import jaccard_index
+from repro.partition.cover import Cover
+
+
+SHARED = {8, 9}
+
+
+@pytest.fixture
+def shared_cliques():
+    """Two 10-node cliques sharing nodes 8 and 9."""
+    size = 10
+    b = GraphBuilder(2 * size - 2)
+    left = list(range(0, size))
+    right = list(range(size - 2, 2 * size - 2))
+    seen = set()
+    for grp in (left, right):
+        for i in range(len(grp)):
+            for j in range(i + 1, len(grp)):
+                edge = (grp[i], grp[j])
+                if edge not in seen:
+                    seen.add(edge)
+                    b.add_edge(*edge)
+    return b.build()
+
+
+class TestCover:
+    def test_basic(self):
+        cover = Cover([{0}, {0, 1}, {1}])
+        assert cover.n == 3
+        assert cover.k == 2
+        assert cover.overlapping_nodes().tolist() == [1]
+        assert cover.overlap_counts().tolist() == [1, 2, 1]
+
+    def test_communities_lookup(self):
+        cover = Cover([{0}, {0, 1}, {1}])
+        comms = cover.communities()
+        assert comms[0].tolist() == [0, 1]
+        assert comms[1].tolist() == [1, 2]
+
+    def test_empty_membership_promoted(self):
+        cover = Cover([{3}, set()])
+        assert len(cover.memberships(1)) == 1
+        assert cover.k == 2
+
+    def test_to_partition(self):
+        cover = Cover([{5}, {2, 5}, {2}])
+        labels = cover.to_partition()
+        assert labels[1] in (2, 5)
+        assert labels[0] == 5
+        assert labels[2] == 2
+
+
+class TestOLP:
+    def test_detects_shared_nodes(self, shared_cliques):
+        """SLPA is stochastic (the original paper aggregates runs): demand
+        perfect precision on every seed and full recall on most seeds."""
+        full_recall = 0
+        for seed in range(6):
+            result = OLP(iterations=60, r=0.25, seed=seed).detect(shared_cliques)
+            overlapping = set(result.cover.overlapping_nodes().tolist())
+            # Never flag interior clique nodes as overlapping.
+            assert overlapping <= SHARED, f"seed {seed}: {overlapping}"
+            assert result.cover.k <= 3
+            if result.cover.k == 2 and overlapping == SHARED:
+                full_recall += 1
+        assert full_recall >= 3
+
+    def test_disjoint_projection_reasonable(self, planted):
+        graph, truth = planted
+        result = OLP(iterations=25, r=0.3, seed=1).detect(graph)
+        assert jaccard_index(result.partition.labels, truth) > 0.5
+
+    def test_run_contract(self, shared_cliques):
+        """The CommunityDetector interface yields a disjoint partition."""
+        det = OLP(iterations=10, seed=0).run(shared_cliques)
+        assert det.partition.n == shared_cliques.n
+
+    def test_high_r_reduces_overlap(self, shared_cliques):
+        loose = OLP(iterations=40, r=0.1, seed=2).detect(shared_cliques)
+        strict = OLP(iterations=40, r=0.9, seed=2).detect(shared_cliques)
+        assert (
+            strict.cover.overlapping_nodes().size
+            <= loose.cover.overlapping_nodes().size
+        )
+
+    def test_charges_time(self, shared_cliques):
+        result = OLP(iterations=10, threads=8, seed=0).detect(shared_cliques)
+        assert result.timing.total > 0
+
+    def test_isolated_nodes(self):
+        g = GraphBuilder(3).build()
+        result = OLP(iterations=5, seed=0).detect(g)
+        assert result.cover.n == 3
+        assert result.cover.k == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            OLP(iterations=0)
+        with pytest.raises(ValueError):
+            OLP(r=0.0)
+        with pytest.raises(ValueError):
+            OLP(r=1.5)

@@ -1,0 +1,128 @@
+"""Tests for the parallel Louvain method (PLM) and its refinement (PLMR)."""
+
+import numpy as np
+import pytest
+
+from repro.community import PLM, PLMR, Louvain
+from repro.graph import GraphBuilder, generators
+from repro.partition.compare import jaccard_index
+from repro.partition.quality import modularity
+
+
+class TestBasicBehaviour:
+    def test_two_cliques(self, clique_pair):
+        result = PLM(seed=0).run(clique_pair)
+        assert result.partition.k == 2
+
+    def test_planted_partition(self, planted):
+        graph, truth = planted
+        result = PLM(threads=8, seed=1).run(graph)
+        assert jaccard_index(result.labels, truth) > 0.85
+        assert modularity(graph, result.partition) > 0.5
+
+    def test_empty_and_trivial(self):
+        assert PLM().run(GraphBuilder(0).build()).partition.n == 0
+        assert PLM().run(GraphBuilder(3).build()).partition.k == 3
+
+    def test_self_loops_tolerated(self):
+        b = GraphBuilder(4)
+        b.add_edge(0, 0, 5.0)
+        b.add_edge(0, 1)
+        b.add_edge(2, 3)
+        result = PLM(seed=0).run(b.build())
+        assert result.partition.n == 4
+
+    def test_hierarchy_info(self, planted):
+        graph, _ = planted
+        result = PLM(seed=0).run(graph)
+        assert result.info["levels"] >= 1
+        assert len(result.info["sweeps_per_level"]) == result.info["levels"]
+
+    def test_positive_modularity_on_structured_graph(self):
+        g = generators.affiliation(2000, 1200, 5.0, seed=8)
+        result = PLM(threads=8, seed=2).run(g)
+        assert modularity(g, result.partition) > 0.3
+
+
+class TestQuality:
+    def test_close_to_sequential_louvain(self, planted):
+        graph, _ = planted
+        plm = PLM(threads=32, seed=3).run(graph)
+        louvain = Louvain(seed=3).run(graph)
+        plm_mod = modularity(graph, plm.partition)
+        lou_mod = modularity(graph, louvain.partition)
+        assert plm_mod > lou_mod - 0.05
+
+    def test_quality_stable_across_threads(self, planted):
+        graph, _ = planted
+        mods = [
+            modularity(graph, PLM(threads=t, seed=4).run(graph).partition)
+            for t in (1, 4, 32)
+        ]
+        assert max(mods) - min(mods) < 0.05
+
+    def test_beats_plp_on_weak_structure(self):
+        """On graphs with weak communities PLM's global objective wins."""
+        from repro.community import PLP
+
+        g = generators.rmat(11, 8, seed=9)
+        plm_mod = modularity(g, PLM(threads=8, seed=5).run(g).partition)
+        plp_mod = modularity(g, PLP(threads=8, seed=5).run(g).partition)
+        assert plm_mod >= plp_mod - 0.01
+
+
+class TestGamma:
+    def test_gamma_zero_single_community(self, planted):
+        graph, _ = planted
+        result = PLM(gamma=0.0, seed=0).run(graph)
+        # Only connected components can remain apart at gamma = 0.
+        assert result.partition.k <= 3
+
+    def test_gamma_scales_resolution(self, planted):
+        graph, _ = planted
+        ks = [
+            PLM(gamma=g, seed=0).run(graph).partition.k
+            for g in (0.5, 1.0, 4.0)
+        ]
+        assert ks[0] <= ks[1] <= ks[2]
+
+    def test_huge_gamma_fragments(self, clique_pair):
+        big = 4.0 * clique_pair.total_edge_weight
+        result = PLM(gamma=big, seed=0).run(clique_pair)
+        assert result.partition.k >= 8
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            PLM(gamma=-1.0)
+
+
+class TestPLMR:
+    def test_refinement_never_loses_much(self, planted):
+        graph, _ = planted
+        plm = modularity(graph, PLM(threads=8, seed=6).run(graph).partition)
+        plmr = modularity(graph, PLMR(threads=8, seed=6).run(graph).partition)
+        assert plmr >= plm - 5e-3
+
+    def test_name(self):
+        assert PLMR().name == "PLMR"
+        assert PLM(refine=True).name == "PLMR"
+
+    def test_refine_info_tracked(self, planted):
+        graph, _ = planted
+        result = PLMR(seed=0).run(graph)
+        if result.info["levels"] > 1:
+            assert len(result.info["refine_sweeps_per_level"]) >= 1
+
+
+class TestDeterminism:
+    def test_deterministic(self, planted):
+        graph, _ = planted
+        a = PLM(threads=8, seed=7).run(graph)
+        b = PLM(threads=8, seed=7).run(graph)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.timing.total == b.timing.total
+
+    def test_timing_sections_present(self, planted):
+        graph, _ = planted
+        result = PLMR(threads=8, seed=7).run(graph)
+        assert "move" in result.timing.sections

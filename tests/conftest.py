@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBuilder, from_edges, generators
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return from_edges(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Path on 4 nodes: 0-1-2-3."""
+    return from_edges(4, [(0, 1), (1, 2), (2, 3)], name="path4")
+
+
+@pytest.fixture
+def weighted_loop_graph() -> Graph:
+    """Two nodes, parallel-free, with a self-loop and weighted edges.
+
+    Edges: {0,1} w=2.0, {1,1} loop w=3.0, {1,2} w=0.5.
+    """
+    builder = GraphBuilder(3)
+    builder.add_edge(0, 1, 2.0)
+    builder.add_edge(1, 1, 3.0)
+    builder.add_edge(1, 2, 0.5)
+    return builder.build(name="loopy")
+
+
+@pytest.fixture
+def clique_pair() -> Graph:
+    """Two 5-cliques joined by a single bridge."""
+    return generators.clique_pair(5, 1)
+
+
+@pytest.fixture
+def planted():
+    """A planted-partition graph with clear communities + ground truth."""
+    return generators.planted_partition(300, 6, 0.3, 0.01, seed=7)
+
+
+def random_test_graph(n: int = 60, p: float = 0.1, seed: int = 0) -> Graph:
+    """Helper for property tests: small ER graph."""
+    return generators.erdos_renyi(n, p, seed=seed)

@@ -1,0 +1,104 @@
+"""Tests for community coarsening and prolongation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, coarsen, from_edges, prolong, generators
+from repro.partition.quality import modularity
+
+
+class TestCoarsen:
+    def test_two_cliques_to_two_nodes(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        result = coarsen(clique_pair, labels)
+        assert result.graph.n == 2
+        # The single bridge becomes the only inter-community edge.
+        assert result.graph.weight_between(0, 1) == pytest.approx(1.0)
+        # Intra-clique edges (10 each) become self-loops.
+        assert result.graph.loop_weight(0) == pytest.approx(10.0)
+        assert result.graph.loop_weight(1) == pytest.approx(10.0)
+
+    def test_preserves_total_weight(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        result = coarsen(clique_pair, labels)
+        assert result.graph.total_edge_weight == pytest.approx(
+            clique_pair.total_edge_weight
+        )
+
+    def test_preserves_total_weight_random_partition(self):
+        g = generators.erdos_renyi(80, 0.1, seed=2)
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 7, size=g.n)
+        result = coarsen(g, labels)
+        assert result.graph.total_edge_weight == pytest.approx(g.total_edge_weight)
+
+    def test_volume_preserved_per_community(self):
+        g = generators.erdos_renyi(60, 0.15, seed=3)
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 5, size=g.n)
+        result = coarsen(g, labels)
+        fine_vols = np.zeros(result.graph.n)
+        np.add.at(fine_vols, result.mapping, g.volumes())
+        assert np.allclose(fine_vols, result.graph.volumes())
+
+    def test_singleton_partition_is_identity_shape(self, triangle):
+        result = coarsen(triangle, np.arange(3))
+        assert result.graph.n == 3
+        assert result.graph == triangle
+
+    def test_one_community_collapses_to_loop(self, triangle):
+        result = coarsen(triangle, np.zeros(3, dtype=int))
+        assert result.graph.n == 1
+        assert result.graph.loop_weight(0) == pytest.approx(3.0)
+
+    def test_noncontiguous_labels_compacted(self, path4):
+        result = coarsen(path4, np.array([5, 5, 99, 99]))
+        assert result.graph.n == 2
+
+    def test_wrong_length_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            coarsen(triangle, np.zeros(2, dtype=int))
+
+    def test_empty_graph(self):
+        g = GraphBuilder(0).build()
+        result = coarsen(g, np.empty(0, dtype=int))
+        assert result.graph.n == 0
+
+
+class TestProlong:
+    def test_prolong_inverts_identity_coarsening(self, path4):
+        result = coarsen(path4, np.arange(4))
+        coarse_sol = np.array([0, 0, 1, 1])
+        fine = prolong(coarse_sol, result)
+        # mapping may permute ids, but grouping must be preserved
+        assert fine[0] == fine[1]
+        assert fine[2] == fine[3]
+        assert fine[0] != fine[2]
+
+    def test_prolong_shape_check(self, path4):
+        result = coarsen(path4, np.array([0, 0, 1, 1]))
+        with pytest.raises(ValueError):
+            prolong(np.zeros(3, dtype=int), result)
+
+    def test_modularity_invariant_under_coarsening(self):
+        """Modularity of a partition equals modularity of the singleton
+        partition on the coarsened graph — the identity Louvain relies on."""
+        g = generators.erdos_renyi(100, 0.08, seed=9)
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 8, size=g.n)
+        result = coarsen(g, labels)
+        coarse_singletons = np.arange(result.graph.n)
+        assert modularity(result.graph, coarse_singletons) == pytest.approx(
+            modularity(g, labels)
+        )
+
+    def test_prolonged_modularity_matches_coarse(self):
+        g = generators.erdos_renyi(100, 0.08, seed=10)
+        rng = np.random.default_rng(5)
+        fine_part = rng.integers(0, 10, size=g.n)
+        result = coarsen(g, fine_part)
+        coarse_sol = np.arange(result.graph.n) // 2  # pair up coarse nodes
+        fine_sol = prolong(coarse_sol, result)
+        assert modularity(g, fine_sol) == pytest.approx(
+            modularity(result.graph, coarse_sol)
+        )

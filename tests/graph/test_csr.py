@@ -1,0 +1,135 @@
+"""Unit tests for the CSR Graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBuilder, from_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = GraphBuilder(0).build()
+        assert g.n == 0
+        assert g.m == 0
+        assert g.total_edge_weight == 0.0
+
+    def test_isolated_nodes(self):
+        g = GraphBuilder(5).build()
+        assert g.n == 5
+        assert g.m == 0
+        assert np.array_equal(g.degrees(), np.zeros(5, dtype=np.int64))
+
+    def test_triangle_counts(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+        assert triangle.total_edge_weight == 3.0
+        assert np.array_equal(triangle.degrees(), [2, 2, 2])
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2]), np.array([0]), np.array([1.0]))
+
+    def test_negative_weight_rejected(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(ValueError):
+            builder.add_edge(0, 1, -1.0)
+
+    def test_out_of_range_edge_rejected(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(IndexError):
+            builder.add_edge(0, 2)
+
+    def test_parallel_edges_merge_weights(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1, 1.5)
+        builder.add_edge(1, 0, 2.5)
+        g = builder.build()
+        assert g.m == 1
+        assert g.weight_between(0, 1) == pytest.approx(4.0)
+
+    def test_duplicate_rejected_without_merging(self):
+        builder = GraphBuilder(2, merge_parallel=False)
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_immutability(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 2
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 5.0
+
+
+class TestVolumesAndWeights:
+    def test_volume_sums_to_twice_weight(self, weighted_loop_graph):
+        g = weighted_loop_graph
+        assert g.volumes().sum() == pytest.approx(2 * g.total_edge_weight)
+
+    def test_self_loop_counts_once_in_omega(self, weighted_loop_graph):
+        # omega(E) = 2.0 + 3.0 + 0.5
+        assert weighted_loop_graph.total_edge_weight == pytest.approx(5.5)
+
+    def test_self_loop_counts_twice_in_volume(self, weighted_loop_graph):
+        # vol(1) = 2.0 (to 0) + 0.5 (to 2) + 2 * 3.0 (loop)
+        assert weighted_loop_graph.volume(1) == pytest.approx(8.5)
+
+    def test_loop_weight_accessor(self, weighted_loop_graph):
+        assert weighted_loop_graph.loop_weight(1) == pytest.approx(3.0)
+        assert weighted_loop_graph.loop_weight(0) == 0.0
+
+    def test_m_counts_loops_once(self, weighted_loop_graph):
+        assert weighted_loop_graph.m == 3
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, triangle):
+        assert np.array_equal(triangle.neighbors(0), [1, 2])
+
+    def test_neighbor_weights_aligned(self, weighted_loop_graph):
+        nbrs = weighted_loop_graph.neighbors(1)
+        ws = weighted_loop_graph.neighbor_weights(1)
+        lookup = dict(zip(nbrs.tolist(), ws.tolist()))
+        assert lookup == {0: 2.0, 1: 3.0, 2: 0.5}
+
+    def test_weight_between_absent(self, path4):
+        assert path4.weight_between(0, 3) == 0.0
+
+    def test_has_edge(self, path4):
+        assert path4.has_edge(1, 2)
+        assert not path4.has_edge(0, 2)
+
+    def test_iter_edges_each_once(self, triangle):
+        edges = sorted((u, v) for u, v, _ in triangle.iter_edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_matches_iter(self, weighted_loop_graph):
+        us, vs, ws = weighted_loop_graph.edge_array()
+        from_iter = sorted(weighted_loop_graph.iter_edges())
+        from_arr = sorted(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        assert from_iter == from_arr
+
+    def test_to_scipy_roundtrip(self, triangle):
+        mat = triangle.to_scipy()
+        assert mat.shape == (3, 3)
+        assert mat.sum() == pytest.approx(6.0)  # both directions
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        g1 = from_edges(3, [(0, 1), (1, 2)])
+        g2 = from_edges(3, [(1, 2), (0, 1)])
+        assert g1 == g2
+
+    def test_unequal_weights(self):
+        g1 = from_edges(2, [(0, 1, 1.0)])
+        g2 = from_edges(2, [(0, 1, 2.0)])
+        assert g1 != g2
+
+    def test_bulk_add_edges_matches_single(self):
+        b1 = GraphBuilder(4)
+        b1.add_edges([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        b2 = GraphBuilder(4)
+        for u, v, w in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]:
+            b2.add_edge(u, v, w)
+        assert b1.build() == b2.build()

@@ -1,0 +1,118 @@
+"""Tests for the mutable DynamicGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicGraph, generators
+
+
+class TestEditing:
+    def test_add_and_query(self):
+        dyn = DynamicGraph(4)
+        dyn.add_edge(0, 1, 2.0)
+        assert dyn.has_edge(0, 1)
+        assert dyn.has_edge(1, 0)
+        assert dyn.weight(0, 1) == 2.0
+        assert dyn.m == 1
+        assert dyn.total_edge_weight == 2.0
+
+    def test_parallel_edges_merge(self):
+        dyn = DynamicGraph(3)
+        dyn.add_edge(0, 1, 1.0)
+        dyn.add_edge(1, 0, 0.5)
+        assert dyn.m == 1
+        assert dyn.weight(0, 1) == 1.5
+
+    def test_remove_edge(self):
+        dyn = DynamicGraph(3)
+        dyn.add_edge(0, 1)
+        w = dyn.remove_edge(1, 0)
+        assert w == 1.0
+        assert dyn.m == 0
+        assert not dyn.has_edge(0, 1)
+
+    def test_remove_missing_edge(self):
+        dyn = DynamicGraph(3)
+        with pytest.raises(KeyError):
+            dyn.remove_edge(0, 1)
+
+    def test_self_loop(self):
+        dyn = DynamicGraph(2)
+        dyn.add_edge(1, 1, 3.0)
+        assert dyn.m == 1
+        assert dyn.degree(1) == 1
+        dyn.remove_edge(1, 1)
+        assert dyn.m == 0
+
+    def test_remove_node_strips_edges(self):
+        dyn = DynamicGraph(4)
+        dyn.add_edge(0, 1)
+        dyn.add_edge(0, 2)
+        dyn.add_edge(2, 3)
+        removed = dyn.remove_node(0)
+        assert removed == 2
+        assert dyn.m == 1
+        assert dyn.degree(0) == 0
+
+    def test_bounds_checked(self):
+        dyn = DynamicGraph(2)
+        with pytest.raises(IndexError):
+            dyn.add_edge(0, 5)
+        with pytest.raises(ValueError):
+            dyn.add_edge(0, 1, -2.0)
+
+
+class TestFreezeAndThaw:
+    def test_freeze_matches_builder(self):
+        g = generators.erdos_renyi(60, 0.1, seed=11)
+        dyn = DynamicGraph.from_graph(g)
+        assert dyn.m == g.m
+        assert dyn.freeze() == g
+
+    def test_edit_then_freeze(self):
+        g = generators.ring(6)
+        dyn = DynamicGraph.from_graph(g)
+        dyn.add_edge(0, 3)
+        dyn.remove_edge(0, 1)
+        frozen = dyn.freeze()
+        assert frozen.has_edge(0, 3)
+        assert not frozen.has_edge(0, 1)
+        assert frozen.m == 6
+
+    def test_weight_consistency_under_random_edits(self):
+        rng = np.random.default_rng(12)
+        dyn = DynamicGraph(30)
+        edges = set()
+        for _ in range(300):
+            u, v = int(rng.integers(0, 30)), int(rng.integers(0, 30))
+            key = (min(u, v), max(u, v))
+            if key in edges and rng.random() < 0.5:
+                dyn.remove_edge(u, v)
+                edges.discard(key)
+            elif key not in edges:
+                dyn.add_edge(u, v, 1.0)
+                edges.add(key)
+        frozen = dyn.freeze()
+        assert frozen.m == len(edges) == dyn.m
+        assert frozen.total_edge_weight == pytest.approx(dyn.total_edge_weight)
+
+
+class TestEventLog:
+    def test_events_recorded_and_drained(self):
+        dyn = DynamicGraph(3)
+        dyn.add_edge(0, 1)
+        dyn.remove_edge(0, 1)
+        events = dyn.drain_events()
+        assert [e.kind for e in events] == ["add", "remove"]
+        assert dyn.drain_events() == []
+
+    def test_from_graph_does_not_log(self):
+        g = generators.ring(5)
+        dyn = DynamicGraph.from_graph(g)
+        assert dyn.drain_events() == []
+
+    def test_affected_nodes(self):
+        dyn = DynamicGraph(10)
+        dyn.add_edge(1, 2)
+        dyn.add_edge(2, 7)
+        assert dyn.affected_nodes().tolist() == [1, 2, 7]

@@ -1,0 +1,65 @@
+"""Tests for DOT export."""
+
+import io
+
+import numpy as np
+
+from repro.graph import from_edges, generators
+from repro.graph.export import community_graph_dot, write_dot
+
+
+class TestWriteDot:
+    def test_structure(self):
+        g = from_edges(3, [(0, 1), (1, 2)], name="tiny")
+        buf = io.StringIO()
+        write_dot(g, buf)
+        text = buf.getvalue()
+        assert text.startswith('graph "tiny"')
+        assert "0 -- 1" in text
+        assert "1 -- 2" in text
+        assert text.rstrip().endswith("}")
+
+    def test_node_attrs_rendered(self):
+        g = from_edges(2, [(0, 1)])
+        buf = io.StringIO()
+        write_dot(g, buf, node_attrs={0: {"width": "2.0"}})
+        assert 'width="2.0"' in buf.getvalue()
+
+    def test_penwidth_normalized(self):
+        g = from_edges(3, [(0, 1, 1.0), (1, 2, 10.0)])
+        buf = io.StringIO()
+        write_dot(g, buf)
+        assert "penwidth=4.00" in buf.getvalue()
+
+    def test_loops_omitted(self):
+        g = from_edges(2, [(0, 0), (0, 1)])
+        buf = io.StringIO()
+        write_dot(g, buf)
+        assert "0 -- 0" not in buf.getvalue()
+
+    def test_file_path(self, tmp_path):
+        g = generators.ring(4)
+        path = tmp_path / "g.dot"
+        write_dot(g, path)
+        assert path.read_text().startswith("graph")
+
+
+class TestCommunityGraphDot:
+    def test_sizes_encoded(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        buf = io.StringIO()
+        coarse = community_graph_dot(clique_pair, labels, buf)
+        assert coarse.n == 2
+        text = buf.getvalue()
+        assert 'label="5"' in text
+        assert "fixedsize" in text
+
+    def test_detected_solution(self, planted, tmp_path):
+        from repro.community import PLM
+
+        graph, _ = planted
+        result = PLM(seed=0).run(graph)
+        path = tmp_path / "communities.dot"
+        coarse = community_graph_dot(graph, result.labels, path)
+        assert coarse.n == result.partition.k
+        assert path.exists()

@@ -1,0 +1,150 @@
+"""Tests for the synthetic network generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.properties import average_local_clustering, connected_components
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        g = generators.erdos_renyi(200, 0.1, seed=0)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(g.m - expected) < 4 * np.sqrt(expected)
+
+    def test_no_self_loops(self):
+        g = generators.erdos_renyi(100, 0.2, seed=1)
+        assert g.loop_weights().sum() == 0.0
+
+    def test_deterministic(self):
+        assert generators.erdos_renyi(50, 0.1, seed=7) == generators.erdos_renyi(
+            50, 0.1, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        assert generators.erdos_renyi(50, 0.1, seed=1) != generators.erdos_renyi(
+            50, 0.1, seed=2
+        )
+
+    def test_dense_limit(self):
+        g = generators.erdos_renyi(20, 1.0, seed=0)
+        assert g.m == 190  # complete graph
+
+
+class TestPlantedPartition:
+    def test_ground_truth_shape(self):
+        g, labels = generators.planted_partition(100, 5, 0.5, 0.01, seed=0)
+        assert labels.shape == (100,)
+        assert len(np.unique(labels)) == 5
+
+    def test_intra_denser_than_inter(self):
+        g, labels = generators.planted_partition(200, 4, 0.3, 0.01, seed=1)
+        us, vs, _ = g.edge_array()
+        intra = (labels[us] == labels[vs]).sum()
+        inter = (labels[us] != labels[vs]).sum()
+        # 4 blocks of 50: intra pairs = 4*1225=4900 at 0.3 ~ 1470 edges;
+        # inter pairs = 15000 at 0.01 ~ 150.
+        assert intra > 5 * inter
+
+    def test_sizes_balanced(self):
+        _, labels = generators.planted_partition(103, 5, 0.2, 0.01, seed=2)
+        sizes = np.bincount(labels)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generators.planted_partition(3, 5, 0.1, 0.1)
+
+
+class TestRMAT:
+    def test_size(self):
+        g = generators.rmat(8, 4, seed=0)
+        assert g.n == 256
+        # Duplicates get merged, so m <= n * edge_factor.
+        assert 0.5 * 256 * 4 <= g.m <= 256 * 4
+
+    def test_skewed_degrees(self):
+        g = generators.rmat(12, 8, seed=1)
+        deg = g.degrees()
+        assert deg.max() > 20 * max(1.0, np.median(deg[deg > 0]))
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            generators.rmat(4, 2, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_paper_parameters_default(self):
+        assert generators.PAPER_RMAT == (0.57, 0.19, 0.19, 0.05)
+
+
+class TestPreferentialAttachment:
+    def test_ba_connected(self):
+        g = generators.barabasi_albert(500, 2, seed=0)
+        comp, _ = connected_components(g)
+        assert comp == 1
+
+    def test_ba_hub_emerges(self):
+        g = generators.barabasi_albert(2000, 2, seed=1)
+        assert g.degrees().max() > 30
+
+    def test_holme_kim_clusters_more_than_ba(self):
+        ba = generators.barabasi_albert(1500, 3, seed=2)
+        hk = generators.holme_kim(1500, 3, 0.8, seed=2)
+        assert average_local_clustering(
+            hk, sample_size=300, seed=0
+        ) > average_local_clustering(ba, sample_size=300, seed=0) + 0.05
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(5, 10)
+        with pytest.raises(ValueError):
+            generators.holme_kim(5, 10, 0.5)
+
+
+class TestLattices:
+    def test_grid_degrees(self):
+        g = generators.grid2d(10, 10)
+        deg = g.degrees()
+        assert deg.max() == 4
+        assert deg.min() == 2  # corners
+        assert g.m == 2 * 10 * 9
+
+    def test_watts_strogatz_size(self):
+        g = generators.watts_strogatz(100, 4, 0.1, seed=0)
+        assert g.n == 100
+        assert g.m <= 200  # rewiring can only merge duplicates
+
+    def test_watts_strogatz_zero_beta_is_lattice(self):
+        g = generators.watts_strogatz(50, 4, 0.0, seed=0)
+        assert np.all(g.degrees() == 4)
+
+    def test_ws_validation(self):
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(10, 3, 0.1)
+
+
+class TestAffiliation:
+    def test_high_clustering(self):
+        g = generators.affiliation(2000, 1200, 5.0, seed=0)
+        assert average_local_clustering(g, sample_size=300, seed=0) > 0.3
+
+
+class TestFixtures:
+    def test_clique_pair(self):
+        g = generators.clique_pair(4, 1)
+        assert g.n == 8
+        assert g.m == 2 * 6 + 1
+
+    def test_ring(self):
+        g = generators.ring(10)
+        assert g.m == 10
+        assert np.all(g.degrees() == 2)
+
+    def test_star(self):
+        g = generators.star(10)
+        assert g.degree(0) == 9
+        assert g.m == 9
+
+    def test_complete(self):
+        g = generators.complete_graph(6)
+        assert g.m == 15

@@ -1,0 +1,88 @@
+"""Tests for METIS / edge-list I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edges, generators
+from repro.graph.io import (
+    load,
+    read_edgelist,
+    read_metis,
+    write_edgelist,
+    write_metis,
+)
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = generators.erdos_renyi(40, 0.15, seed=4)
+        path = tmp_path / "graph.graph"
+        write_metis(g, path)
+        g2 = read_metis(path)
+        assert g2 == g
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = from_edges(4, [(0, 1, 2.5), (1, 2, 1.0), (2, 3, 0.25)])
+        path = tmp_path / "weighted.metis"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_parse_reference_format(self):
+        text = "% a comment\n3 2\n2\n1 3\n2\n"
+        g = read_metis(io.StringIO(text))
+        assert g.n == 3
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_parse_weighted_format(self):
+        text = "2 1 1\n2 4.5\n1 4.5\n"
+        g = read_metis(io.StringIO(text))
+        assert g.weight_between(0, 1) == pytest.approx(4.5)
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO(""))
+
+    def test_truncated_file(self):
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO("3 2\n2\n"))
+
+    def test_name_from_filename(self, tmp_path):
+        g = generators.ring(5)
+        path = tmp_path / "myring.graph"
+        write_metis(g, path)
+        assert read_metis(path).name == "myring"
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = generators.erdos_renyi(30, 0.2, seed=5)
+        path = tmp_path / "edges.txt"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g
+
+    def test_comments_skipped(self):
+        g = read_edgelist(io.StringIO("# snap header\n0 1\n1 2\n"))
+        assert g.m == 2
+
+    def test_weights_parsed(self):
+        g = read_edgelist(io.StringIO("0 1 3.5\n"))
+        assert g.weight_between(0, 1) == pytest.approx(3.5)
+
+    def test_empty_file(self):
+        g = read_edgelist(io.StringIO(""))
+        assert g.n == 0
+
+
+class TestLoadDispatch:
+    def test_by_extension(self, tmp_path):
+        g = generators.ring(6)
+        metis_path = tmp_path / "a.graph"
+        edge_path = tmp_path / "a.txt"
+        write_metis(g, metis_path)
+        write_edgelist(g, edge_path)
+        assert load(metis_path) == g
+        assert load(edge_path) == g

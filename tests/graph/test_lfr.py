@@ -1,0 +1,63 @@
+"""Tests for the LFR benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.lfr import lfr_graph
+
+
+class TestLFR:
+    def test_basic_shape(self):
+        inst = lfr_graph(500, avg_degree=10, max_degree=30, mu=0.2, seed=0,
+                         min_community=20, max_community=60)
+        assert inst.graph.n == 500
+        assert inst.ground_truth.shape == (500,)
+        assert inst.mu_requested == 0.2
+
+    def test_realized_mixing_tracks_request(self):
+        for mu in (0.1, 0.4, 0.7):
+            inst = lfr_graph(
+                1500, avg_degree=16, max_degree=50, mu=mu, seed=1,
+                min_community=30, max_community=100,
+            )
+            assert abs(inst.mu_realized - mu) < 0.12
+
+    def test_community_sizes_within_bounds(self):
+        inst = lfr_graph(
+            1000, avg_degree=12, max_degree=40, mu=0.3,
+            min_community=25, max_community=75, seed=2,
+        )
+        sizes = np.bincount(inst.ground_truth)
+        sizes = sizes[sizes > 0]
+        # The residual community may undershoot; all others are in range.
+        assert (sizes >= 25).sum() >= sizes.size - 1
+        assert sizes.max() <= 75
+
+    def test_average_degree_close(self):
+        inst = lfr_graph(2000, avg_degree=20, max_degree=80, mu=0.3, seed=3,
+                         min_community=30, max_community=100)
+        avg = 2 * inst.graph.m / inst.graph.n
+        assert 0.6 * 20 <= avg <= 1.4 * 20
+
+    def test_deterministic(self):
+        a = lfr_graph(300, mu=0.3, seed=9, min_community=20, max_community=60)
+        b = lfr_graph(300, mu=0.3, seed=9, min_community=20, max_community=60)
+        assert a.graph == b.graph
+        assert np.array_equal(a.ground_truth, b.ground_truth)
+
+    def test_low_mu_communities_are_detectable_structure(self):
+        inst = lfr_graph(800, avg_degree=14, max_degree=40, mu=0.05, seed=4,
+                         min_community=30, max_community=80)
+        us, vs, ws = inst.graph.edge_array()
+        intra = (inst.ground_truth[us] == inst.ground_truth[vs])
+        assert ws[intra].sum() > 0.8 * ws.sum()
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            lfr_graph(100, mu=1.5)
+
+    def test_invalid_community_bounds(self):
+        with pytest.raises(ValueError):
+            lfr_graph(100, min_community=50, max_community=20)
+        with pytest.raises(ValueError):
+            lfr_graph(100, min_community=20, max_community=2000)

@@ -1,0 +1,90 @@
+"""Tests for structural property computations (Table I machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edges, generators
+from repro.graph.properties import (
+    average_local_clustering,
+    connected_components,
+    degree_statistics,
+    summarize,
+)
+
+
+class TestComponents:
+    def test_connected(self, triangle):
+        comp, labels = connected_components(triangle)
+        assert comp == 1
+        assert len(np.unique(labels)) == 1
+
+    def test_isolated_nodes(self):
+        g = GraphBuilder(5).build()
+        comp, _ = connected_components(g)
+        assert comp == 5
+
+    def test_two_components(self):
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        comp, labels = connected_components(g)
+        assert comp == 2
+        assert labels[0] == labels[2]
+        assert labels[0] != labels[3]
+
+    def test_empty(self):
+        comp, labels = connected_components(GraphBuilder(0).build())
+        assert comp == 0
+        assert labels.size == 0
+
+    def test_long_path_converges(self):
+        n = 500
+        g = from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        comp, _ = connected_components(g)
+        assert comp == 1
+
+
+class TestClustering:
+    def test_triangle_is_one(self, triangle):
+        assert average_local_clustering(triangle) == pytest.approx(1.0)
+
+    def test_path_is_zero(self, path4):
+        assert average_local_clustering(path4) == 0.0
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert average_local_clustering(g) == pytest.approx(1.0)
+
+    def test_square_with_diagonal(self):
+        # 0-1-2-3-0 plus diagonal 0-2: triangles (0,1,2) and (0,2,3).
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        # cc(0)=cc(2)= 2/3 (deg 3, 2 closed of 3 pairs); cc(1)=cc(3)=1.
+        expected = (2 / 3 + 1 + 2 / 3 + 1) / 4
+        assert average_local_clustering(g) == pytest.approx(expected)
+
+    def test_sampling_close_to_exact(self):
+        g = generators.holme_kim(800, 3, 0.6, seed=3)
+        exact = average_local_clustering(g)
+        sampled = average_local_clustering(g, sample_size=400, seed=1)
+        assert abs(exact - sampled) < 0.1
+
+
+class TestDegreeStats:
+    def test_values(self, path4):
+        stats = degree_statistics(path4)
+        assert stats["min"] == 1
+        assert stats["max"] == 2
+        assert stats["mean"] == pytest.approx(1.5)
+
+    def test_empty(self):
+        stats = degree_statistics(GraphBuilder(0).build())
+        assert stats["max"] == 0
+
+
+class TestSummarize:
+    def test_row_fields(self, clique_pair):
+        s = summarize(clique_pair)
+        assert s.n == 10
+        assert s.m == 21
+        assert s.max_degree == 5
+        assert s.components == 1
+        assert s.lcc > 0.7
+        assert len(s.as_row()) == 6

@@ -1,0 +1,126 @@
+"""Unit tests for the machine model."""
+
+import pytest
+
+from repro.parallel.machine import Machine, PAPER_MACHINE
+
+
+class TestTopology:
+    def test_paper_machine_matches_table2(self):
+        assert PAPER_MACHINE.physical_cores == 16
+        assert PAPER_MACHINE.hardware_threads == 32
+        assert PAPER_MACHINE.base_freq_ghz == pytest.approx(2.7)
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(sockets=0)
+        with pytest.raises(ValueError):
+            Machine(smt=0)
+
+    def test_invalid_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(base_freq_ghz=3.0, turbo_freq_ghz=2.0)
+        with pytest.raises(ValueError):
+            Machine(all_core_turbo_ghz=4.0)
+
+    def test_invalid_smt_efficiency(self):
+        with pytest.raises(ValueError):
+            Machine(smt_efficiency=1.5)
+
+
+class TestFrequencyModel:
+    def test_single_core_hits_max_turbo(self):
+        assert PAPER_MACHINE.effective_frequency(1) == pytest.approx(3.5)
+
+    def test_two_cores_step_down(self):
+        f2 = PAPER_MACHINE.effective_frequency(2)
+        assert f2 < PAPER_MACHINE.turbo_freq_ghz
+        assert f2 >= PAPER_MACHINE.all_core_turbo_ghz
+
+    def test_monotone_decrease(self):
+        freqs = [PAPER_MACHINE.effective_frequency(c) for c in range(1, 17)]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_all_cores_at_all_core_turbo(self):
+        assert PAPER_MACHINE.effective_frequency(16) == pytest.approx(
+            PAPER_MACHINE.all_core_turbo_ghz
+        )
+
+    def test_clamped_above_core_count(self):
+        assert PAPER_MACHINE.effective_frequency(64) == pytest.approx(
+            PAPER_MACHINE.all_core_turbo_ghz
+        )
+
+
+class TestThreadRate:
+    def test_single_thread_boosted(self):
+        rate1 = PAPER_MACHINE.thread_rate(1)
+        assert rate1 > PAPER_MACHINE.work_rate  # turbo above base
+
+    def test_per_thread_rate_decreases(self):
+        rates = [PAPER_MACHINE.thread_rate(t) for t in (1, 2, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_smt_aggregate_gain(self):
+        """32 threads must deliver more aggregate than 16, but less than 2x."""
+        agg16 = PAPER_MACHINE.thread_rate(16) * 16
+        agg32 = PAPER_MACHINE.thread_rate(32) * 32
+        assert agg16 < agg32 < 2 * agg16
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.thread_rate(0)
+
+    def test_clamp_threads(self):
+        assert PAPER_MACHINE.clamp_threads(100) == 32
+        assert PAPER_MACHINE.clamp_threads(4) == 4
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.clamp_threads(0)
+
+    def test_describe_mentions_cores(self):
+        text = PAPER_MACHINE.describe()
+        assert "2 x 8 cores" in text
+        assert "32 hardware threads" in text
+
+
+class TestBandwidthRoofline:
+    def test_compute_bound_unaffected(self):
+        for t in (1, 8, 32):
+            assert PAPER_MACHINE.effective_rate(t, 0.0) == pytest.approx(
+                PAPER_MACHINE.thread_rate(t)
+            )
+
+    def test_single_thread_never_capped(self):
+        assert PAPER_MACHINE.effective_rate(1, 1.0) == pytest.approx(
+            PAPER_MACHINE.thread_rate(1)
+        )
+
+    def test_memory_bound_saturates(self):
+        """Aggregate throughput of a fully memory-bound loop approaches
+        the bandwidth cap as threads grow."""
+        agg32 = PAPER_MACHINE.effective_rate(32, 1.0) * 32
+        cap = PAPER_MACHINE.bandwidth_cap_cores * PAPER_MACHINE.work_rate
+        assert agg32 <= cap * 1.01
+
+    def test_more_memory_bound_is_slower(self):
+        rates = [PAPER_MACHINE.effective_rate(32, mb) for mb in (0.0, 0.4, 0.8)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_plp_vs_plm_speedup_gap(self):
+        """The paper's PLP (~8x) vs PLM (~12x) speedup gap emerges from
+        the memory-boundness difference alone."""
+
+        def speedup(mb):
+            return (
+                PAPER_MACHINE.effective_rate(32, mb)
+                * 32
+                / PAPER_MACHINE.effective_rate(1, mb)
+            )
+
+        assert 6.0 <= speedup(0.8) <= 11.0  # PLP regime
+        assert 10.0 <= speedup(0.45) <= 16.0  # PLM regime
+        assert speedup(0.45) > speedup(0.8)
+
+    def test_invalid_memory_bound(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.effective_rate(4, 1.5)

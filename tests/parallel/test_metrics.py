@@ -1,0 +1,71 @@
+"""Tests for timing reports and scaling tables."""
+
+import pytest
+
+from repro.parallel.metrics import ScalingPoint, TimingReport, strong_scaling_table
+
+
+class TestTimingReport:
+    def test_rate(self):
+        report = TimingReport(total=2.0, threads=4)
+        assert report.rate(10.0) == 5.0
+
+    def test_rate_zero_time(self):
+        report = TimingReport(total=0.0, threads=1)
+        assert report.rate(10.0) == float("inf")
+
+    def test_sections_default(self):
+        assert TimingReport(total=1.0, threads=1).sections == {}
+
+
+class TestScalingTable:
+    def test_ideal_scaling(self):
+        points = strong_scaling_table(lambda t: 16.0 / t, [1, 2, 4])
+        assert [p.speedup for p in points] == [1.0, 2.0, 4.0]
+        assert [p.efficiency for p in points] == [1.0, 1.0, 1.0]
+
+    def test_sublinear(self):
+        points = strong_scaling_table(lambda t: 10.0 / (t**0.5), [1, 4])
+        assert points[1].speedup == pytest.approx(2.0)
+        assert points[1].efficiency == pytest.approx(0.5)
+
+    def test_baseline_other_than_one(self):
+        points = strong_scaling_table(lambda t: 8.0 / t, [2, 4])
+        assert points[0].speedup == 1.0
+        assert points[1].speedup == pytest.approx(2.0)
+        assert points[1].efficiency == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert strong_scaling_table(lambda t: 1.0, []) == []
+
+    def test_point_fields(self):
+        p = ScalingPoint(threads=8, time=0.5, speedup=4.0, efficiency=0.5)
+        assert p.threads == 8
+
+
+class TestRuntimeFailurePropagation:
+    def test_kernel_exception_surfaces(self):
+        import numpy as np
+
+        from repro.parallel.runtime import ParallelRuntime
+
+        rt = ParallelRuntime(threads=4)
+
+        def kernel(chunk):
+            raise RuntimeError("kernel boom")
+
+        with pytest.raises(RuntimeError, match="kernel boom"):
+            rt.parallel_for(np.arange(10), kernel)
+
+    def test_commit_exception_surfaces(self):
+        import numpy as np
+
+        from repro.parallel.runtime import ParallelRuntime
+
+        rt = ParallelRuntime(threads=2)
+
+        def commit(update):
+            raise ValueError("commit boom")
+
+        with pytest.raises(ValueError, match="commit boom"):
+            rt.parallel_for(np.arange(64), lambda c: 1, commit, grain=8)

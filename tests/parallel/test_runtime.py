@@ -1,0 +1,192 @@
+"""Tests for the event-driven simulated executor."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import Machine
+from repro.parallel.runtime import ParallelRuntime
+
+FAST_MACHINE = Machine(dispatch_overhead_s=0.0, barrier_overhead_s=0.0)
+
+
+class TestTimeAccounting:
+    def test_charge_sequential(self):
+        rt = ParallelRuntime(threads=1)
+        rt.charge(1e6, parallel=False)
+        assert rt.elapsed == pytest.approx(1e6 / rt.machine.thread_rate(1))
+
+    def test_charge_parallel_faster(self):
+        seq = ParallelRuntime(threads=1)
+        par = ParallelRuntime(threads=16)
+        seq.charge(1e7, parallel=True)
+        par.charge(1e7, parallel=True)
+        assert par.elapsed < seq.elapsed
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRuntime().charge(-1.0)
+
+    def test_reset(self):
+        rt = ParallelRuntime()
+        rt.charge(100.0)
+        rt.reset()
+        assert rt.elapsed == 0.0
+        assert rt.sections == {}
+
+    def test_sections_accumulate(self):
+        rt = ParallelRuntime()
+        with rt.section("a"):
+            rt.charge(1e6)
+        with rt.section("a"):
+            rt.charge(1e6)
+        with rt.section("b"):
+            rt.charge(2e6)
+        assert rt.sections["a"] == pytest.approx(2 * rt.sections["b"] / 2, rel=0.2)
+        assert rt.elapsed == pytest.approx(sum(rt.sections.values()))
+
+
+class TestParallelFor:
+    def test_kernel_sees_every_item_once(self):
+        rt = ParallelRuntime(FAST_MACHINE, threads=4)
+        seen = []
+        rt.parallel_for(np.arange(100), lambda chunk: seen.extend(chunk.tolist()))
+        assert sorted(seen) == list(range(100))
+
+    def test_commit_receives_every_update(self):
+        rt = ParallelRuntime(FAST_MACHINE, threads=4)
+        committed = []
+        rt.parallel_for(
+            np.arange(50),
+            kernel=lambda chunk: chunk.sum(),
+            commit=committed.append,
+        )
+        assert sum(committed) == sum(range(50))
+
+    def test_single_thread_is_sequential(self):
+        """With one thread every commit lands before the next block runs."""
+        rt = ParallelRuntime(FAST_MACHINE, threads=1)
+        log = []
+        state = {"committed": 0}
+
+        def kernel(chunk):
+            log.append(("k", state["committed"]))
+            return 1
+
+        def commit(update):
+            state["committed"] += update
+
+        rt.parallel_for(np.arange(64), kernel, commit, grain=8)
+        # Block i must observe exactly i prior commits.
+        assert [c for _, c in log] == list(range(8))
+
+    def test_multi_thread_staleness(self):
+        """With many threads, early blocks run before earlier commits land."""
+        rt = ParallelRuntime(FAST_MACHINE, threads=8)
+        observations = []
+        state = {"committed": 0}
+
+        def kernel(chunk):
+            observations.append(state["committed"])
+            return 1
+
+        rt.parallel_for(
+            np.arange(64),
+            kernel,
+            lambda u: state.__setitem__("committed", state["committed"] + u),
+            grain=8,
+        )
+        # Staleness: not every block saw all previous commits.
+        assert observations != sorted(set(observations))or max(observations) < 7
+
+    def test_elapsed_grows_with_work(self):
+        rt = ParallelRuntime(threads=4)
+        t0 = rt.elapsed
+        rt.parallel_for(np.arange(100), lambda c: None, costs=np.full(100, 50.0))
+        t1 = rt.elapsed
+        rt.parallel_for(np.arange(100), lambda c: None, costs=np.full(100, 5000.0))
+        assert (rt.elapsed - t1) > (t1 - t0)
+
+    def test_more_threads_faster(self):
+        costs = np.full(1000, 100.0)
+        times = []
+        for threads in (1, 4, 16):
+            rt = ParallelRuntime(threads=threads)
+            rt.parallel_for(np.arange(1000), lambda c: None, costs=costs)
+            times.append(rt.elapsed)
+        assert times[0] > times[1] > times[2]
+
+    def test_costs_alignment_checked(self):
+        rt = ParallelRuntime()
+        with pytest.raises(ValueError):
+            rt.parallel_for(np.arange(10), lambda c: None, costs=np.ones(5))
+
+    def test_empty_items(self):
+        rt = ParallelRuntime(threads=4)
+        stats = rt.parallel_for(np.empty(0, dtype=int), lambda c: None)
+        assert stats.chunks == 0
+
+    def test_stats_imbalance(self):
+        rt = ParallelRuntime(FAST_MACHINE, threads=2)
+        costs = np.ones(100)
+        costs[:50] = 100.0
+        stats = rt.parallel_for(
+            np.arange(100), lambda c: None, costs=costs, schedule="static"
+        )
+        assert stats.imbalance > 1.5
+
+    def test_guided_beats_static_on_skew(self):
+        """The paper's load-balancing rationale for schedule(guided)."""
+        costs = np.ones(4096)
+        costs[-64:] = 500.0  # hub nodes last: static dumps them all on one
+        # thread, guided spreads them over small tail chunks
+        t = {}
+        for kind in ("static", "guided"):
+            rt = ParallelRuntime(FAST_MACHINE, threads=8)
+            rt.parallel_for(np.arange(4096), lambda c: None, costs=costs, schedule=kind)
+            t[kind] = rt.elapsed
+        assert t["guided"] < t["static"]
+
+    def test_deterministic(self):
+        def run():
+            rt = ParallelRuntime(threads=8)
+            acc = []
+            rt.parallel_for(
+                np.arange(200), lambda c: c.sum(), acc.append, grain=16
+            )
+            return rt.elapsed, acc
+
+        assert run() == run()
+
+
+class TestNestedParallelism:
+    def test_split_divides_threads(self):
+        rt = ParallelRuntime(threads=32)
+        subs = rt.split(4)
+        assert len(subs) == 4
+        assert all(s.threads == 8 for s in subs)
+
+    def test_split_minimum_one_thread(self):
+        rt = ParallelRuntime(threads=2)
+        subs = rt.split(8)
+        assert all(s.threads == 1 for s in subs)
+
+    def test_join_max_takes_slowest(self):
+        rt = ParallelRuntime(threads=32)
+        subs = rt.split(4)
+        for i, sub in enumerate(subs):
+            sub.charge(1e6 * (i + 1))
+        rt.join_max(subs)
+        assert rt.elapsed == pytest.approx(max(s.elapsed for s in subs))
+
+    def test_join_max_waves_when_oversubscribed(self):
+        """More sub-runtimes than thread groups -> serialized waves."""
+        rt = ParallelRuntime(threads=4)
+        subs = [ParallelRuntime(rt.machine, 2) for _ in range(4)]
+        for sub in subs:
+            sub.charge(1e6)
+        rt.join_max(subs)  # 2 groups of 2 threads -> 2 waves
+        assert rt.elapsed == pytest.approx(2 * subs[0].elapsed)
+
+    def test_split_validates(self):
+        with pytest.raises(ValueError):
+            ParallelRuntime().split(0)

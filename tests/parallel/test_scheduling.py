@@ -1,0 +1,97 @@
+"""Unit tests for the OpenMP-style schedules."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.scheduling import (
+    dynamic_schedule,
+    guided_schedule,
+    make_schedule,
+    static_schedule,
+)
+
+
+def _coverage(schedule, n):
+    """Chunks must tile [0, n) exactly, in order, without overlap."""
+    covered = []
+    for chunk in schedule.chunks:
+        covered.extend(range(chunk.start, chunk.stop))
+    return covered == list(range(n))
+
+
+class TestStatic:
+    def test_partitions_iteration_space(self):
+        costs = np.ones(100)
+        sched = static_schedule(costs, 4)
+        assert _coverage(sched, 100)
+        assert len(sched.chunks) == 4
+        assert {c.thread for c in sched.chunks} == {0, 1, 2, 3}
+
+    def test_more_threads_than_items(self):
+        sched = static_schedule(np.ones(2), 8)
+        assert _coverage(sched, 2)
+        assert all(c.size >= 1 for c in sched.chunks)
+
+    def test_cost_totals(self):
+        costs = np.arange(10, dtype=float)
+        sched = static_schedule(costs, 3)
+        assert sched.total_cost() == pytest.approx(costs.sum())
+
+    def test_skewed_costs_imbalanced(self):
+        """Static chunks ignore cost skew — the guided-schedule motivation."""
+        costs = np.ones(100)
+        costs[:10] = 1000.0  # hub nodes at the front
+        sched = static_schedule(costs, 4)
+        chunk_costs = [c.cost for c in sched.chunks]
+        assert max(chunk_costs) > 5 * min(chunk_costs)
+
+
+class TestDynamic:
+    def test_fixed_chunk_size(self):
+        sched = dynamic_schedule(np.ones(100), 4, chunk_size=7)
+        assert _coverage(sched, 100)
+        assert all(c.size == 7 for c in sched.chunks[:-1])
+        assert sched.chunks[-1].size == 100 % 7
+
+    def test_default_chunk_size(self):
+        sched = dynamic_schedule(np.ones(1000), 4)
+        assert _coverage(sched, 1000)
+        assert len(sched.chunks) > 4
+
+    def test_unassigned_threads(self):
+        sched = dynamic_schedule(np.ones(10), 2, chunk_size=3)
+        assert all(c.thread == -1 for c in sched.chunks)
+
+
+class TestGuided:
+    def test_decreasing_chunk_sizes(self):
+        sched = guided_schedule(np.ones(1000), 4)
+        sizes = [c.size for c in sched.chunks]
+        assert _coverage(sched, 1000)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[0] == 250  # ceil(1000 / 4)
+
+    def test_min_chunk_respected(self):
+        sched = guided_schedule(np.ones(100), 4, min_chunk=10)
+        assert all(c.size >= 10 for c in sched.chunks[:-1])
+
+    def test_single_thread_one_chunk(self):
+        sched = guided_schedule(np.ones(50), 1)
+        assert len(sched.chunks) == 1
+
+
+class TestMakeSchedule:
+    @pytest.mark.parametrize("kind", ["static", "dynamic", "guided"])
+    def test_dispatch(self, kind):
+        sched = make_schedule(kind, np.ones(20), 2)
+        assert sched.kind == kind
+        assert _coverage(sched, 20)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_schedule("fair", np.ones(5), 2)
+
+    def test_empty_iteration_space(self):
+        for kind in ("static", "dynamic", "guided"):
+            sched = make_schedule(kind, np.empty(0), 4)
+            assert len(sched.chunks) == 0

@@ -1,0 +1,75 @@
+"""Tests for per-community diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, generators
+from repro.partition.community_stats import (
+    conductances,
+    internal_densities,
+    profile,
+)
+
+
+class TestConductance:
+    def test_perfectly_separated(self):
+        g = from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert np.allclose(conductances(g, labels), 0.0)
+
+    def test_clique_pair_bridge(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        cond = conductances(clique_pair, labels)
+        # Each clique: vol = 21, cut = 1 -> conductance 1/21.
+        assert np.allclose(cond, 1 / 21)
+
+    def test_singletons_max_conductance(self, triangle):
+        cond = conductances(triangle, np.arange(3))
+        assert np.allclose(cond, 1.0)
+
+    def test_range(self):
+        g = generators.erdos_renyi(60, 0.15, seed=3)
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 6, size=g.n)
+        cond = conductances(g, labels)
+        assert np.all(cond >= 0.0)
+        assert np.all(cond <= 1.0)
+
+    def test_shape_validated(self, triangle):
+        with pytest.raises(ValueError):
+            conductances(triangle, np.zeros(5, dtype=int))
+
+
+class TestInternalDensity:
+    def test_clique_density_one(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert np.allclose(internal_densities(clique_pair, labels), 1.0)
+
+    def test_singleton_density_zero(self, triangle):
+        assert np.allclose(internal_densities(triangle, np.arange(3)), 0.0)
+
+    def test_half_density(self):
+        # Community {0,1,2,3} with only a path 0-1-2-3: 3 of 6 pairs.
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        dens = internal_densities(g, np.zeros(4, dtype=int))
+        assert dens[0] == pytest.approx(0.5)
+
+
+class TestProfile:
+    def test_fields(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        prof = profile(clique_pair, labels)
+        assert prof.k == 2
+        assert prof.size_min == prof.size_max == 5
+        assert prof.mean_internal_density == pytest.approx(1.0)
+        assert prof.mean_conductance == pytest.approx(1 / 21)
+        assert len(prof.as_row()) == 6
+
+    def test_on_detected_solution(self, planted):
+        from repro.community import PLM
+
+        graph, _ = planted
+        result = PLM(seed=0).run(graph)
+        prof = profile(graph, result.partition)
+        assert prof.k == result.partition.k
+        assert prof.mean_conductance < 0.5  # communities are real

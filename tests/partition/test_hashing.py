@@ -1,0 +1,79 @@
+"""Tests for the EPP core-group combiners (djb2 hashing vs exact oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import Partition
+from repro.partition.hashing import combine_exact, combine_hashing, djb2_combine
+
+
+class TestExactCombine:
+    def test_single_solution_identity(self):
+        sol = np.array([3, 3, 1, 1, 7])
+        combined = combine_exact([sol])
+        assert Partition(combined) == Partition(sol)
+
+    def test_intersection_semantics(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        combined = combine_exact([a, b])
+        # Pairs together iff together in BOTH: {0,1}, {2}, {3,4,5}.
+        expected = np.array([0, 0, 1, 2, 2, 2])
+        assert Partition(combined) == Partition(expected)
+
+    def test_refines_every_base(self):
+        rng = np.random.default_rng(2)
+        sols = [rng.integers(0, 6, size=200) for _ in range(4)]
+        combined = Partition(combine_exact(sols))
+        for sol in sols:
+            assert combined.refines(Partition(sol))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            combine_exact([])
+
+
+class TestHashingCombine:
+    def test_matches_exact_oracle(self):
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            sols = [
+                rng.integers(0, rng.integers(2, 20), size=500)
+                for _ in range(int(rng.integers(1, 6)))
+            ]
+            hashed = Partition(combine_hashing(sols))
+            exact = Partition(combine_exact(sols))
+            assert hashed == exact, f"collision or bug in trial {trial}"
+
+    def test_deterministic(self):
+        sols = [np.array([0, 1, 0, 1]), np.array([2, 2, 3, 3])]
+        assert np.array_equal(combine_hashing(sols), combine_hashing(sols))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            combine_hashing([])
+
+
+class TestDjb2:
+    def test_vectorized_matches_scalar(self):
+        sols = [np.array([1, 2, 3]), np.array([4, 5, 6])]
+        h = djb2_combine(sols)
+
+        def scalar(vals):
+            x = np.uint64(5381)
+            for v in vals:
+                with np.errstate(over="ignore"):
+                    x = (x * np.uint64(33)) ^ np.uint64(v)
+            return x
+
+        for node in range(3):
+            assert h[node] == scalar([s[node] for s in sols])
+
+    def test_one_dimensional_input(self):
+        h = djb2_combine(np.array([1, 1, 2]))
+        assert h[0] == h[1]
+        assert h[0] != h[2]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            djb2_combine(np.zeros((2, 2, 2), dtype=np.int64))

@@ -1,0 +1,98 @@
+"""Unit tests for the Partition wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.partition import Partition
+
+
+class TestConstruction:
+    def test_compacts_labels(self):
+        p = Partition(np.array([5, 5, 9, 120]))
+        assert p.k == 3
+        assert p.n == 4
+        assert p[0] == p[1]
+        assert p[2] != p[3]
+
+    def test_singletons(self):
+        p = Partition.singletons(5)
+        assert p.k == 5
+        assert sorted(p.labels.tolist()) == list(range(5))
+
+    def test_one_community(self):
+        p = Partition.one_community(5)
+        assert p.k == 1
+        assert np.all(p.labels == 0)
+
+    def test_empty(self):
+        p = Partition(np.empty(0, dtype=int))
+        assert p.n == 0
+        assert p.k == 0
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, -1]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.zeros((2, 2), dtype=int))
+
+    def test_immutable(self):
+        p = Partition(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            p.labels[0] = 1
+
+
+class TestAccessors:
+    def test_sizes(self):
+        p = Partition(np.array([0, 0, 1, 1, 1]))
+        assert p.sizes().tolist() == [2, 3]
+
+    def test_members(self):
+        p = Partition(np.array([0, 1, 0, 1]))
+        assert p.members(0).tolist() == [0, 2]
+        assert p.members(1).tolist() == [1, 3]
+
+    def test_len(self):
+        assert len(Partition(np.array([0, 1, 2]))) == 3
+
+
+class TestRefinesAndEquality:
+    def test_refines_self(self):
+        p = Partition(np.array([0, 0, 1, 1]))
+        assert p.refines(p)
+
+    def test_singletons_refine_everything(self):
+        s = Partition.singletons(6)
+        coarse = Partition(np.array([0, 0, 0, 1, 1, 1]))
+        assert s.refines(coarse)
+        assert not coarse.refines(s)
+
+    def test_refines_cross(self):
+        fine = Partition(np.array([0, 0, 1, 2, 2]))
+        coarse = Partition(np.array([0, 0, 0, 1, 1]))
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+
+    def test_incomparable(self):
+        a = Partition(np.array([0, 0, 1, 1]))
+        b = Partition(np.array([0, 1, 1, 0]))
+        assert not a.refines(b)
+        assert not b.refines(a)
+
+    def test_structural_equality_ignores_label_values(self):
+        a = Partition(np.array([0, 0, 1]))
+        b = Partition(np.array([7, 7, 3]))
+        assert a == b
+
+    def test_inequality(self):
+        a = Partition(np.array([0, 0, 1]))
+        b = Partition(np.array([0, 1, 1]))
+        assert a != b
+
+    def test_size_mismatch(self):
+        a = Partition(np.array([0, 0]))
+        b = Partition(np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            a.refines(b)
+        assert a != b

@@ -1,0 +1,104 @@
+"""Tests for modularity and coverage against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edges, generators
+from repro.partition import Partition, coverage, modularity
+from repro.partition.quality import community_volumes, intra_community_weight
+
+
+class TestCoverage:
+    def test_all_in_one(self, triangle):
+        assert coverage(triangle, np.zeros(3, dtype=int)) == 1.0
+
+    def test_singletons(self, triangle):
+        assert coverage(triangle, np.arange(3)) == 0.0
+
+    def test_clique_pair(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        # 20 intra edges of 21 total.
+        assert coverage(clique_pair, labels) == pytest.approx(20 / 21)
+
+    def test_empty_graph_coverage(self):
+        g = GraphBuilder(3).build()
+        assert coverage(g, np.zeros(3, dtype=int)) == 1.0
+
+
+class TestModularityHandValues:
+    def test_one_community_is_zero(self, triangle):
+        # omega(C)/omega - vol^2/(4 omega^2) = 1 - (12^2)/(4*9)/4 ... = 0
+        assert modularity(triangle, np.zeros(3, dtype=int)) == pytest.approx(0.0)
+
+    def test_singletons_negative(self, triangle):
+        # Each node: 0/3 - (2/6)^2 summed = -3 * (1/9) = -1/3
+        assert modularity(triangle, np.arange(3)) == pytest.approx(-1 / 3)
+
+    def test_two_triangles_bridge(self):
+        # Two triangles joined by one edge; m = 7.
+        g = from_edges(
+            6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        )
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        # coverage = 6/7; vol(C0) = vol(C1) = 7; mod = 6/7 - 2*(49/196)
+        expected = 6 / 7 - 2 * (49 / (4 * 49))
+        assert modularity(g, labels) == pytest.approx(expected)
+
+    def test_self_loop_in_modularity(self):
+        # Single node with a self-loop: omega=1, vol=2, one community:
+        # mod = 1/1 - 4/4 = 0.
+        builder = GraphBuilder(1)
+        builder.add_edge(0, 0, 1.0)
+        g = builder.build()
+        assert modularity(g, np.zeros(1, dtype=int)) == pytest.approx(0.0)
+
+    def test_weighted_graph(self):
+        g = from_edges(4, [(0, 1, 2.0), (2, 3, 2.0), (1, 2, 1.0)])
+        labels = np.array([0, 0, 1, 1])
+        # omega = 5; intra = 4; vol(C0)=vol(C1)=5
+        expected = 4 / 5 - 2 * (25 / 100)
+        assert modularity(g, labels) == pytest.approx(expected)
+
+    def test_partition_object_accepted(self, triangle):
+        assert modularity(triangle, Partition.one_community(3)) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        g = GraphBuilder(4).build()
+        assert modularity(g, np.zeros(4, dtype=int)) == 0.0
+
+
+class TestGamma:
+    def test_gamma_zero_maximized_by_one_community(self, clique_pair):
+        one = modularity(clique_pair, np.zeros(10, dtype=int), gamma=0.0)
+        split = modularity(
+            clique_pair, np.array([0] * 5 + [1] * 5), gamma=0.0
+        )
+        assert one >= split  # gamma=0 is pure coverage
+
+    def test_gamma_standard(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert modularity(clique_pair, labels, gamma=1.0) == pytest.approx(
+            modularity(clique_pair, labels)
+        )
+
+    def test_large_gamma_favors_singletons(self, clique_pair):
+        big = 4.0 * clique_pair.total_edge_weight
+        singles = modularity(clique_pair, np.arange(10), gamma=big)
+        grouped = modularity(clique_pair, np.array([0] * 5 + [1] * 5), gamma=big)
+        assert singles > grouped
+
+
+class TestHelpers:
+    def test_community_volumes_sum(self):
+        g = generators.erdos_renyi(50, 0.1, seed=1)
+        labels = np.arange(50) % 4
+        vols = community_volumes(g, labels)
+        assert vols.sum() == pytest.approx(2 * g.total_edge_weight)
+
+    def test_intra_weight_total(self, clique_pair):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert intra_community_weight(clique_pair, labels).sum() == pytest.approx(20.0)
+
+    def test_shape_validation(self, triangle):
+        with pytest.raises(ValueError):
+            modularity(triangle, np.zeros(5, dtype=int))

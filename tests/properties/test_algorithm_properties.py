@@ -1,0 +1,72 @@
+"""Property-based tests on the algorithms: every detector, any graph."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.community import CEL, CLU, CNM, EPP, PLM, PLMR, PLP, RG, Louvain
+from repro.graph import GraphBuilder
+from repro.partition.quality import modularity
+
+DETECTORS = [PLP, PLM, PLMR, EPP, Louvain, CLU, CEL, CNM, RG]
+
+
+@st.composite
+def arbitrary_graphs(draw):
+    n = draw(st.integers(1, 25))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=60,
+        )
+    )
+    builder = GraphBuilder(n)
+    for u, v in edges:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+class TestDetectorContracts:
+    @given(arbitrary_graphs(), st.sampled_from(DETECTORS), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_partition_on_any_graph(self, graph, Detector, seed):
+        """Every detector returns a complete partition, never crashes,
+        and charges non-negative simulated time."""
+        result = Detector(seed=seed).run(graph)
+        assert result.partition.n == graph.n
+        assert result.timing.total >= 0.0
+        if graph.n:
+            assert 1 <= result.partition.k <= graph.n
+
+    @given(arbitrary_graphs(), st.sampled_from([PLP, PLM, PLMR, EPP, CLU]))
+    @settings(max_examples=40, deadline=None)
+    def test_determinism(self, graph, Detector):
+        a = Detector(threads=4, seed=1).run(graph)
+        b = Detector(threads=4, seed=1).run(graph)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.timing.total == b.timing.total
+
+    @given(arbitrary_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_plm_no_worse_than_singletons(self, graph):
+        """PLM only performs positive-gain moves, so it must not end below
+        the singleton partition's modularity."""
+        result = PLM(seed=0).run(graph)
+        singleton_mod = modularity(graph, np.arange(graph.n))
+        assert modularity(graph, result.partition) >= singleton_mod - 1e-9
+
+    @given(arbitrary_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_agglomeratives_never_negative(self, graph):
+        """Merging only on positive gain keeps modularity >= singletons."""
+        for Detector in (CNM, RG):
+            result = Detector(seed=0).run(graph)
+            assert modularity(graph, result.partition) >= modularity(
+                graph, np.arange(graph.n)
+            ) - 1e-9
+
+    @given(arbitrary_graphs(), st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_thread_count_never_changes_contract(self, graph, threads):
+        result = PLM(threads=threads, seed=0).run(graph)
+        assert result.partition.n == graph.n
+        assert result.timing.threads == min(threads, 32)

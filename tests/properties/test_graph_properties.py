@@ -1,0 +1,111 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import GraphBuilder, coarsen, prolong
+from repro.partition.quality import modularity
+
+
+@st.composite
+def random_graphs(draw, max_nodes=40, max_edges=120):
+    """A random small weighted graph (possibly with loops and duplicates)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    builder = GraphBuilder(n)
+    for u, v, w in edges:
+        builder.add_edge(u, v, w)
+    return builder.build()
+
+
+@st.composite
+def graph_with_partition(draw):
+    graph = draw(random_graphs())
+    k = draw(st.integers(1, max(1, graph.n)))
+    labels = draw(
+        st.lists(st.integers(0, k - 1), min_size=graph.n, max_size=graph.n)
+    )
+    return graph, np.asarray(labels)
+
+
+class TestGraphInvariants:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_volume_sum_is_twice_total_weight(self, graph):
+        assert np.isclose(graph.volumes().sum(), 2 * graph.total_edge_weight)
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_array_consistent_with_m(self, graph):
+        us, vs, ws = graph.edge_array()
+        assert us.size == graph.m
+        assert np.all(us <= vs)
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_symmetry(self, graph):
+        for u in range(graph.n):
+            for v in graph.neighbors(u):
+                assert np.isclose(
+                    graph.weight_between(u, v), graph.weight_between(int(v), u)
+                )
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_builder_idempotent_roundtrip(self, graph):
+        rebuilt = GraphBuilder(graph.n)
+        us, vs, ws = graph.edge_array()
+        rebuilt.add_edges(us, vs, ws)
+        assert rebuilt.build() == graph
+
+
+class TestCoarseningInvariants:
+    @given(graph_with_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_total_weight_preserved(self, gp):
+        graph, labels = gp
+        result = coarsen(graph, labels)
+        assert np.isclose(
+            result.graph.total_edge_weight, graph.total_edge_weight
+        )
+
+    @given(graph_with_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_modularity_invariant(self, gp):
+        """mod(partition, G) == mod(singletons, coarsen(G, partition))."""
+        graph, labels = gp
+        result = coarsen(graph, labels)
+        coarse_mod = modularity(result.graph, np.arange(result.graph.n))
+        assert np.isclose(coarse_mod, modularity(graph, labels))
+
+    @given(graph_with_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_volumes_aggregate(self, gp):
+        graph, labels = gp
+        result = coarsen(graph, labels)
+        agg = np.zeros(result.graph.n)
+        np.add.at(agg, result.mapping, graph.volumes())
+        assert np.allclose(agg, result.graph.volumes())
+
+    @given(graph_with_partition(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_prolong_preserves_grouping(self, gp, groups):
+        graph, labels = gp
+        result = coarsen(graph, labels)
+        coarse_sol = np.arange(result.graph.n) % groups
+        fine = prolong(coarse_sol, result)
+        # Nodes in one original community stay together after prolongation.
+        for c in np.unique(labels):
+            members = np.flatnonzero(labels == c)
+            assert len(np.unique(fine[members])) == 1

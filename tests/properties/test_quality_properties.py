@@ -1,0 +1,121 @@
+"""Property-based tests for quality measures and combiners."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators
+from repro.partition import Partition
+from repro.partition.compare import (
+    adjusted_rand_index,
+    jaccard_index,
+    normalized_mutual_information,
+    rand_index,
+)
+from repro.partition.hashing import combine_exact, combine_hashing
+from repro.partition.quality import coverage, modularity
+
+labelings = st.lists(st.integers(0, 6), min_size=2, max_size=60)
+
+
+def pair_of_labelings():
+    return labelings.flatmap(
+        lambda a: st.tuples(
+            st.just(np.asarray(a)),
+            st.lists(
+                st.integers(0, 6), min_size=len(a), max_size=len(a)
+            ).map(np.asarray),
+        )
+    )
+
+
+class TestComparisonMeasureProperties:
+    @given(pair_of_labelings())
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, ab):
+        a, b = ab
+        assert np.isclose(jaccard_index(a, b), jaccard_index(b, a))
+        assert np.isclose(rand_index(a, b), rand_index(b, a))
+        assert np.isclose(
+            normalized_mutual_information(a, b),
+            normalized_mutual_information(b, a),
+        )
+
+    @given(labelings)
+    @settings(max_examples=80, deadline=None)
+    def test_self_agreement(self, a):
+        a = np.asarray(a)
+        assert jaccard_index(a, a) == 1.0
+        assert rand_index(a, a) == 1.0
+        assert np.isclose(normalized_mutual_information(a, a), 1.0)
+        assert np.isclose(adjusted_rand_index(a, a), 1.0)
+
+    @given(pair_of_labelings())
+    @settings(max_examples=80, deadline=None)
+    def test_ranges(self, ab):
+        a, b = ab
+        assert 0.0 <= jaccard_index(a, b) <= 1.0
+        assert 0.0 <= rand_index(a, b) <= 1.0
+        assert -1e-9 <= normalized_mutual_information(a, b) <= 1.0 + 1e-9
+
+    @given(pair_of_labelings(), st.permutations(range(7)))
+    @settings(max_examples=60, deadline=None)
+    def test_label_permutation_invariance(self, ab, perm):
+        a, b = ab
+        perm = np.asarray(perm)
+        assert np.isclose(jaccard_index(a, b), jaccard_index(perm[a], b))
+
+
+class TestCombinerProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 5), min_size=20, max_size=20),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hashing_matches_exact(self, sols):
+        sols = [np.asarray(s) for s in sols]
+        assert Partition(combine_hashing(sols)) == Partition(combine_exact(sols))
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 5), min_size=15, max_size=15),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_combined_refines_every_base(self, sols):
+        sols = [np.asarray(s) for s in sols]
+        combined = Partition(combine_exact(sols))
+        for sol in sols:
+            assert combined.refines(Partition(sol))
+
+
+class TestModularityProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_modularity_bounded(self, seed, k):
+        g = generators.erdos_renyi(40, 0.15, seed=seed % 1000)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, k, size=g.n)
+        q = modularity(g, labels)
+        assert -1.0 <= q <= 1.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_one_community_coverage_one(self, seed):
+        g = generators.erdos_renyi(30, 0.2, seed=seed)
+        labels = np.zeros(g.n, dtype=int)
+        assert coverage(g, labels) == 1.0
+        # mod of the whole graph as one community is coverage - 1 = 0.
+        assert np.isclose(modularity(g, labels), 0.0)
+
+    @given(st.integers(0, 1000), st.floats(0.1, 4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gamma_one_matches_default(self, seed, gamma):
+        g = generators.erdos_renyi(30, 0.2, seed=seed)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, size=g.n)
+        assert np.isclose(modularity(g, labels, gamma=1.0), modularity(g, labels))

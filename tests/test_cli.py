@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph.io import write_metis
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph, _ = generators.planted_partition(200, 4, 0.2, 0.01, seed=5)
+    path = tmp_path / "net.metis"
+    write_metis(graph, path)
+    return str(path)
+
+
+class TestDetect:
+    def test_detect_writes_partition(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "part.txt"
+        rc = main(["detect", graph_file, "-a", "plm", "--out", str(out)])
+        assert rc == 0
+        labels = np.loadtxt(out, dtype=int)
+        assert labels.shape == (200,)
+        captured = capsys.readouterr().out
+        assert "modularity" in captured
+
+    def test_detect_dot_export(self, graph_file, tmp_path):
+        dot = tmp_path / "cg.dot"
+        rc = main(["detect", graph_file, "-a", "plp", "--dot", str(dot)])
+        assert rc == 0
+        text = dot.read_text()
+        assert text.startswith("graph")
+        assert "--" in text
+
+    @pytest.mark.parametrize("alg", ["plp", "plm", "plmr", "epp", "clu"])
+    def test_all_fast_algorithms(self, graph_file, alg, capsys):
+        assert main(["detect", graph_file, "-a", alg, "-t", "4"]) == 0
+
+
+class TestCompare:
+    def test_compare_table(self, graph_file, capsys):
+        rc = main(
+            ["compare", graph_file, "--algorithms", "plp,plm", "--runs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PLP" in out
+        assert "PLM" in out
+
+    def test_unknown_algorithm(self, graph_file, capsys):
+        rc = main(["compare", graph_file, "--algorithms", "magic"])
+        assert rc == 2
+
+
+class TestInfoAndGenerate:
+    def test_info(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:      200" in out
+
+    @pytest.mark.parametrize("model", ["lfr", "planted", "rmat", "ws", "grid"])
+    def test_generate_models(self, model, tmp_path, capsys):
+        out = tmp_path / f"{model}.metis"
+        rc = main(
+            ["generate", model, "--n", "256", "--scale", "8", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_generate_roundtrip(self, tmp_path):
+        out = tmp_path / "g.metis"
+        main(["generate", "planted", "--n", "100", "--out", str(out)])
+        assert main(["info", str(out)]) == 0

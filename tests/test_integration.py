@@ -1,0 +1,112 @@
+"""Integration tests: end-to-end flows across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EPP,
+    PLM,
+    PLMR,
+    PLP,
+    Louvain,
+    ParallelRuntime,
+    coarsen,
+    generators,
+    jaccard_index,
+    modularity,
+    prolong,
+)
+from repro.graph.io import read_metis, write_metis
+from repro.parallel.machine import Machine
+
+
+class TestFileToCommunitiesPipeline:
+    def test_metis_roundtrip_then_detect(self, tmp_path):
+        graph, truth = generators.planted_partition(400, 8, 0.25, 0.01, seed=3)
+        path = tmp_path / "network.graph"
+        write_metis(graph, path)
+        loaded = read_metis(path)
+        result = PLM(threads=8, seed=0).run(loaded)
+        assert jaccard_index(result.labels, truth) > 0.85
+
+
+class TestMultilevelConsistency:
+    def test_detect_on_coarse_graph_prolongs_cleanly(self):
+        graph, _ = generators.planted_partition(300, 6, 0.3, 0.01, seed=4)
+        first = PLP(seed=1).run(graph)
+        coarse = coarsen(graph, first.labels)
+        refined = PLM(seed=1).run(coarse.graph)
+        final = prolong(refined.labels, coarse)
+        assert modularity(graph, final) >= modularity(graph, first.labels) - 1e-9
+
+    def test_community_graph_modularity_matches(self):
+        graph = generators.holme_kim(2000, 3, 0.5, seed=5)
+        result = PLM(threads=8, seed=2).run(graph)
+        coarse = coarsen(graph, result.labels)
+        # Singleton partition on the community graph == detected partition.
+        assert modularity(coarse.graph, np.arange(coarse.graph.n)) == (
+            pytest.approx(modularity(graph, result.partition))
+        )
+
+
+class TestSharedRuntimeComposition:
+    def test_two_detectors_share_a_runtime_clock(self):
+        graph, _ = generators.planted_partition(200, 4, 0.3, 0.01, seed=6)
+        rt = ParallelRuntime(threads=8)
+        r1 = PLP(seed=0).run(graph, runtime=rt)
+        mid = rt.elapsed
+        r2 = PLM(seed=0).run(graph, runtime=rt)
+        # Each result reports only its own delta.
+        assert r1.timing.total == pytest.approx(mid)
+        assert r2.timing.total == pytest.approx(rt.elapsed - mid)
+
+    def test_custom_machine_scales_everything(self):
+        graph, _ = generators.planted_partition(200, 4, 0.3, 0.01, seed=7)
+        slow = Machine(work_rate=1e6, dispatch_overhead_s=0, barrier_overhead_s=0)
+        fast = Machine(work_rate=1e8, dispatch_overhead_s=0, barrier_overhead_s=0)
+        t_slow = PLP(seed=0).run(graph, ParallelRuntime(slow, 8)).timing.total
+        t_fast = PLP(seed=0).run(graph, ParallelRuntime(fast, 8)).timing.total
+        assert t_slow == pytest.approx(100 * t_fast)
+
+
+class TestAlgorithmAgreement:
+    """On graphs with crisp structure, all serious methods must agree."""
+
+    def test_consensus_on_strong_communities(self):
+        graph, truth = generators.planted_partition(500, 10, 0.4, 0.002, seed=8)
+        solutions = {}
+        for alg in (PLP(seed=0), PLM(seed=0), PLMR(seed=0), EPP(seed=0), Louvain(seed=0)):
+            solutions[alg.name] = alg.run(graph).labels
+        for name, labels in solutions.items():
+            assert jaccard_index(labels, truth) > 0.9, f"{name} missed structure"
+        # And with each other.
+        names = list(solutions)
+        for a, b in zip(names, names[1:]):
+            assert jaccard_index(solutions[a], solutions[b]) > 0.85
+
+
+class TestWeightedGraphsEndToEnd:
+    def test_weights_steer_all_algorithms(self):
+        """Two structural blocks connected by many light edges: weights,
+        not topology, define the communities."""
+        from repro.graph import GraphBuilder
+
+        rng = np.random.default_rng(9)
+        n = 60
+        b = GraphBuilder(n)
+        # Heavy intra-block edges (dense enough to be one cohesive module).
+        for block in (range(0, 30), range(30, 60)):
+            block = list(block)
+            for _ in range(260):
+                u, v = rng.choice(block, 2, replace=False)
+                b.add_edge(int(u), int(v), 10.0)
+        # Light inter-block edges, more numerous.
+        for _ in range(150):
+            u = int(rng.integers(0, 30))
+            v = int(rng.integers(30, 60))
+            b.add_edge(u, v, 0.1)
+        graph = b.build()
+        truth = np.array([0] * 30 + [1] * 30)
+        for alg in (PLP(seed=1), PLM(seed=1), Louvain(seed=1)):
+            labels = alg.run(graph).labels
+            assert jaccard_index(labels, truth) > 0.85, alg.name
