@@ -22,11 +22,12 @@ def test_fig10_weak_scaling(benchmark):
     def sweep():
         out = {"PLP": [], "PLM": []}
         for graph, threads in zip(graphs, THREADS):
-            out["PLP"].append(PLP(threads=threads, seed=10).run(graph).timing.total)
-            out["PLM"].append(PLM(threads=threads, seed=10).run(graph).timing.total)
+            out["PLP"].append(PLP(threads=threads, seed=10).run(graph).timing)
+            out["PLM"].append(PLM(threads=threads, seed=10).run(graph).timing)
         return out
 
-    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = {name: [r.total for r in rs] for name, rs in reports.items()}
     rows = [
         (
             scale,
@@ -35,11 +36,26 @@ def test_fig10_weak_scaling(benchmark):
             graphs[i].m,
             round(times["PLP"][i], 4),
             round(times["PLM"][i], 4),
+            round(reports["PLP"][i].loop_imbalance, 3),
+            f"{100.0 * reports['PLP'][i].overhead_share:.1f}%",
+            round(reports["PLM"][i].loop_imbalance, 3),
+            f"{100.0 * reports['PLM'][i].overhead_share:.1f}%",
         )
         for i, (scale, threads) in enumerate(zip(SCALES, THREADS))
     ]
     table = format_table(
-        ["scale", "threads", "n", "m", "PLP sim time (s)", "PLM sim time (s)"],
+        [
+            "scale",
+            "threads",
+            "n",
+            "m",
+            "PLP sim time (s)",
+            "PLM sim time (s)",
+            "PLP imbal",
+            "PLP ovh",
+            "PLM imbal",
+            "PLM ovh",
+        ],
         rows,
         title="Figure 10: weak scaling on the Kronecker series "
         "(R-MAT 0.57/0.19/0.19/0.05)",

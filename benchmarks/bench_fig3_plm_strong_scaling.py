@@ -15,19 +15,30 @@ THREADS = [1, 2, 4, 8, 16, 32]
 
 def test_fig3_plm_strong_scaling(benchmark):
     graph = load_dataset("uk-2007-05")
+    timings = {}
+
+    def run(t):
+        timing = PLM(threads=t, seed=2).run(graph).timing
+        timings[t] = timing
+        return timing.total
 
     def sweep():
-        return strong_scaling_table(
-            lambda t: PLM(threads=t, seed=2).run(graph).timing.total, THREADS
-        )
+        return strong_scaling_table(run, THREADS)
 
     points = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [
-        (p.threads, round(p.time, 4), round(p.speedup, 2), round(p.efficiency, 2))
+        (
+            p.threads,
+            round(p.time, 4),
+            round(p.speedup, 2),
+            round(p.efficiency, 2),
+            round(timings[p.threads].loop_imbalance, 3),
+            f"{100.0 * timings[p.threads].overhead_share:.1f}%",
+        )
         for p in points
     ]
     table = format_table(
-        ["threads", "sim time (s)", "speedup", "efficiency"],
+        ["threads", "sim time (s)", "speedup", "efficiency", "imbalance", "overhead"],
         rows,
         title=f"Figure 3: PLM strong scaling on {graph.name} (m={graph.m})",
     )

@@ -7,7 +7,7 @@ This module provides exactly that machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -27,7 +27,13 @@ class ExperimentRow:
     """Averaged result of one (algorithm, network) cell.
 
     ``time`` is simulated seconds; ``communities`` the mean community
-    count; ``runs`` the number of repetitions averaged.
+    count; ``runs`` the number of repetitions averaged. The telemetry
+    fields come from the runtime's per-loop records: ``imbalance`` is the
+    time-weighted mean thread imbalance over all parallel loops,
+    ``overhead_share`` the fraction of loop thread-seconds lost to
+    dispatch/barrier overhead, and ``loops`` a per-label breakdown
+    (label -> ``{"time", "imbalance", "overhead_share", "stale_lag_mean"}``
+    means over the runs).
     """
 
     algorithm: str
@@ -36,6 +42,9 @@ class ExperimentRow:
     time: float
     communities: float
     runs: int
+    imbalance: float = 1.0
+    overhead_share: float = 0.0
+    loops: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def key(self) -> tuple[str, str]:
         return (self.algorithm, self.network)
@@ -51,13 +60,30 @@ def run_matrix(
     rows: list[ExperimentRow] = []
     for graph in graphs:
         for name, factory in algorithms.items():
-            mods, times, ks = [], [], []
+            mods, times, ks, imbalances, overheads = [], [], [], [], []
+            loop_acc: dict[str, dict[str, list[float]]] = {}
             for r in range(runs):
                 detector = factory(seed + r)
                 result = detector.run(graph)
                 mods.append(modularity(graph, result.partition))
                 times.append(result.timing.total)
                 ks.append(result.partition.k)
+                imbalances.append(result.timing.loop_imbalance)
+                overheads.append(result.timing.overhead_share)
+                for label, tel in result.timing.loops.items():
+                    acc = loop_acc.setdefault(
+                        label,
+                        {
+                            "time": [],
+                            "imbalance": [],
+                            "overhead_share": [],
+                            "stale_lag_mean": [],
+                        },
+                    )
+                    acc["time"].append(tel.time)
+                    acc["imbalance"].append(tel.imbalance)
+                    acc["overhead_share"].append(tel.overhead_share)
+                    acc["stale_lag_mean"].append(tel.stale_lag_mean)
             rows.append(
                 ExperimentRow(
                     algorithm=name,
@@ -66,6 +92,12 @@ def run_matrix(
                     time=float(np.mean(times)),
                     communities=float(np.mean(ks)),
                     runs=runs,
+                    imbalance=float(np.mean(imbalances)),
+                    overhead_share=float(np.mean(overheads)),
+                    loops={
+                        label: {k: float(np.mean(v)) for k, v in acc.items()}
+                        for label, acc in loop_acc.items()
+                    },
                 )
             )
     return rows

@@ -22,8 +22,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.bench.report import format_table
 from repro.community import CEL, CLU, CNM, EPP, PLM, PLMR, PLP, RG, Louvain
 from repro.graph import io as graph_io
+from repro.parallel.machine import PAPER_MACHINE
+from repro.parallel.runtime import ParallelRuntime
+from repro.parallel.tracing import Tracer, format_section_tree, write_chrome_trace
 from repro.graph import generators
 from repro.graph.export import community_graph_dot
 from repro.graph.lfr import lfr_graph
@@ -68,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--dot", help="write the Fig.11-style community graph as GraphViz DOT"
     )
+    detect.add_argument(
+        "--trace",
+        help="write a Chrome-trace/Perfetto JSON of the simulated execution "
+        "(open in chrome://tracing or ui.perfetto.dev) and print the "
+        "per-phase section tree plus per-loop telemetry",
+    )
 
     compare = sub.add_parser("compare", help="run the algorithm portfolio")
     compare.add_argument("graph")
@@ -104,7 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_detect(args) -> int:
     graph = graph_io.load(args.graph)
     detector = ALGORITHMS[args.algorithm](args)
-    result = detector.run(graph)
+    tracer = Tracer() if args.trace else None
+    runtime = ParallelRuntime(
+        PAPER_MACHINE, threads=getattr(detector, "threads", 1), tracer=tracer
+    )
+    result = detector.run(graph, runtime=runtime)
     part = result.partition
     print(f"graph:       {graph.name} (n={graph.n}, m={graph.m})")
     print(f"algorithm:   {detector.name} ({result.timing.threads} threads)")
@@ -123,7 +137,48 @@ def _cmd_detect(args) -> int:
     if args.dot:
         community_graph_dot(graph, part.labels, args.dot)
         print(f"wrote {args.dot}")
+    if args.trace:
+        _print_telemetry(result.timing)
+        count = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {args.trace} ({count} trace events)")
     return 0
+
+
+def _print_telemetry(timing) -> None:
+    """Print the section tree and per-loop telemetry of a timing report."""
+    print("\nsection tree (leaves sum to total):")
+    print(format_section_tree(timing.tree))
+    if timing.loops:
+        rows = [
+            (
+                label,
+                t.calls,
+                f"{t.time:.6f}",
+                f"{100.0 * t.time / timing.total:.1f}%",
+                f"{t.imbalance:.3f}",
+                f"{100.0 * t.overhead_share:.2f}%",
+                f"{t.stale_lag_mean * 1e6:.2f}",
+            )
+            for label, t in sorted(
+                timing.loops.items(), key=lambda kv: -kv[1].time
+            )
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "loop",
+                    "calls",
+                    "time (s)",
+                    "share",
+                    "imbalance",
+                    "overhead",
+                    "stale lag (us)",
+                ],
+                rows,
+                title="per-loop telemetry:",
+            )
+        )
 
 
 def _cmd_compare(args) -> int:

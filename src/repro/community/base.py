@@ -72,24 +72,14 @@ class CommunityDetector(abc.ABC):
         """
         if runtime is None:
             runtime = ParallelRuntime(PAPER_MACHINE, threads=self.threads)
-        start = runtime.elapsed
-        start_sections = dict(runtime.sections)
+        snap = runtime.snapshot()
         labels, info = self._run(graph, runtime)
         labels = np.asarray(labels)
         if labels.shape != (graph.n,):
             raise AssertionError(
                 f"{self.name}: labels shape {labels.shape} != ({graph.n},)"
             )
-        sections = {
-            k: v - start_sections.get(k, 0.0)
-            for k, v in runtime.sections.items()
-            if v - start_sections.get(k, 0.0) > 0
-        }
-        timing = TimingReport(
-            total=runtime.elapsed - start,
-            threads=runtime.threads,
-            sections=sections,
-        )
+        timing = runtime.report_since(snap)
         return DetectionResult(Partition(labels), timing, info)
 
     @abc.abstractmethod

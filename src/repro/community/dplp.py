@@ -33,7 +33,6 @@ from repro.community.plp import PLP
 from repro.graph.csr import Graph
 from repro.graph.dynamic import GraphEvent
 from repro.parallel.machine import PAPER_MACHINE
-from repro.parallel.metrics import TimingReport
 from repro.parallel.runtime import ParallelRuntime
 from repro.partition.partition import Partition
 
@@ -78,7 +77,7 @@ class DynamicPLP(PLP):
             raise ValueError("node count changed; rerun from scratch")
         if runtime is None:
             runtime = ParallelRuntime(PAPER_MACHINE, threads=self.threads)
-        start = runtime.elapsed
+        snap = runtime.snapshot()
 
         labels = self._labels.copy()
         degrees = graph.degrees()
@@ -97,9 +96,5 @@ class DynamicPLP(PLP):
         info["events"] = len(events)
         info["seeds"] = int(seeds.size)
         self._labels = labels.copy()
-        timing = TimingReport(
-            total=runtime.elapsed - start,
-            threads=runtime.threads,
-            sections={"update": runtime.sections.get("update", 0.0)},
-        )
+        timing = runtime.report_since(snap)
         return DetectionResult(Partition(labels), timing, info)

@@ -94,7 +94,7 @@ class EPP(CommunityDetector):
         self, graph: Graph, runtime: ParallelRuntime, round_id: int
     ) -> tuple[np.ndarray, list[np.ndarray]]:
         """Run the base ensemble concurrently and combine core communities."""
-        subs = runtime.split(self.ensemble_size)
+        subs = runtime.split(self.ensemble_size, prefix="base")
         base_solutions: list[np.ndarray] = []
         for i, sub in enumerate(subs):
             detector = self.base_factory(self.seed + round_id * 1000 + i)
@@ -102,7 +102,9 @@ class EPP(CommunityDetector):
             detector.threads = sub.threads
             result = detector.run(graph, runtime=sub)
             base_solutions.append(result.partition.labels)
-        runtime.join_max(subs)
+        # Merges the bases' section breakdowns under "base/..." so the
+        # ensemble phase no longer vanishes from the parent's attribution.
+        runtime.join_max(subs, prefix="base")
         with runtime.section("combine"):
             core = combine_hashing(base_solutions)
             runtime.charge(graph.n * float(self.ensemble_size), parallel=True)

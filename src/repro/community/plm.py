@@ -210,6 +210,7 @@ class PLM(CommunityDetector):
                     # scan, so PLM saturates memory bandwidth later than
                     # PLP (~12x vs ~8x speedup in the paper).
                     memory_bound=0.45,
+                    loop=f"{self.name.lower()}.{section}",
                 )
                 sweeps += 1
                 if state["moves"] == 0:

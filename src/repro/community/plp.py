@@ -33,6 +33,28 @@ from repro.parallel.runtime import ParallelRuntime
 __all__ = ["PLP"]
 
 
+def _hash_jitter(
+    node_ids: np.ndarray, labs: np.ndarray, salt: np.uint64
+) -> np.ndarray:
+    """Deterministic per-(node, label, salt) tie-break noise in [0, 1).
+
+    The original algorithm breaks ties among equally heavy labels
+    arbitrarily; a *consistent* tie-break (e.g. largest label) lets one
+    label win every tie and flood the graph. Hashing (node, label, salt)
+    reproduces arbitrary-but-deterministic tie-breaking, vectorized.
+    """
+    with np.errstate(over="ignore"):
+        h = (
+            node_ids.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+            + labs.astype(np.uint64) * np.uint64(2654435761)
+            + salt
+        )
+        h ^= h >> np.uint64(33)
+        h *= np.uint64(0xFF51AFD7ED558CCD)
+        h ^= h >> np.uint64(33)
+    return (h >> np.uint64(11)).astype(np.float64) / float(2**53)
+
+
 class PLP(CommunityDetector):
     """Parallel label propagation.
 
@@ -143,25 +165,11 @@ class PLP(CommunityDetector):
         base_salt = np.uint64(rng.integers(1, 2**63))
 
         def jitter(node_ids: np.ndarray, labs: np.ndarray) -> np.ndarray:
-            """Deterministic per-(node, label, iteration) tie-break noise.
-
-            The original algorithm breaks ties among equally heavy labels
-            arbitrarily; a *consistent* tie-break (e.g. largest label)
-            lets one label win every tie and flood the graph. Hashing
-            (node, label, iteration) reproduces arbitrary-but-deterministic
-            tie-breaking, vectorized.
-            """
-            salt = base_salt + np.uint64(state["iteration"] * 1_000_003)
+            """Per-(node, label, iteration) tie-break noise (see
+            :func:`_hash_jitter`)."""
             with np.errstate(over="ignore"):
-                h = (
-                    node_ids.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
-                    + labs.astype(np.uint64) * np.uint64(2654435761)
-                    + salt
-                )
-                h ^= h >> np.uint64(33)
-                h *= np.uint64(0xFF51AFD7ED558CCD)
-                h ^= h >> np.uint64(33)
-            return (h >> np.uint64(11)).astype(np.float64) / float(2**53)
+                salt = base_salt + np.uint64(state["iteration"] * 1_000_003)
+            return _hash_jitter(node_ids, labs, salt)
 
         def kernel(chunk: np.ndarray):
             groups = group_label_weights(graph, chunk, labels)
@@ -182,15 +190,21 @@ class PLP(CommunityDetector):
 
         def commit(update) -> None:
             moved, new_labels, stable = update
+            # Nodes already carrying the dominant label go inactive first...
+            active[stable] = False
             if moved.size:
                 labels[moved] = new_labels
                 state["updated"] += int(moved.size)
-                # Reactivate the neighborhoods of changed nodes (vectorized).
+                # ...then the neighborhoods of changed nodes reactivate
+                # (vectorized) — in this order, so a node that was stable
+                # in this block but neighbors a move from the *same* block
+                # stays active and revisits the changed neighborhood.
+                # (The reverse order wrongly deactivated such nodes, which
+                # could then never be revisited.) A stable node is still
+                # deactivated for good by later-committing blocks only if
+                # none of their moves touch its neighborhood.
                 _, nbrs, _ = gather_neighborhoods(graph, moved)
                 active[nbrs] = True
-            # Nodes already carrying the dominant label go inactive...
-            active[stable] = False
-            # ...unless a *later-committing* chunk reactivates them again.
 
         with runtime.section(section):
             iteration = 0
@@ -224,6 +238,7 @@ class PLP(CommunityDetector):
                     # loop is dominated by memory traffic, which is what
                     # caps PLP's speedup near 8x on the paper's machine.
                     memory_bound=0.8,
+                    loop=f"{self.name.lower()}.{section}",
                 )
                 iteration += 1
                 state["iteration"] = iteration

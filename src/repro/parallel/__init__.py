@@ -31,8 +31,30 @@ from repro.parallel.scheduling import (
 )
 from repro.parallel.runtime import ParallelRuntime, ParallelForStats
 from repro.parallel.metrics import TimingReport, ScalingPoint, strong_scaling_table
+from repro.parallel.tracing import (
+    BlockEvent,
+    LoopRecord,
+    LoopTelemetry,
+    Tracer,
+    aggregate_loops,
+    build_section_tree,
+    chrome_trace,
+    format_section_tree,
+    tree_leaf_sum,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "BlockEvent",
+    "LoopRecord",
+    "LoopTelemetry",
+    "Tracer",
+    "aggregate_loops",
+    "build_section_tree",
+    "chrome_trace",
+    "format_section_tree",
+    "tree_leaf_sum",
+    "write_chrome_trace",
     "Machine",
     "PAPER_MACHINE",
     "Chunk",

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
+
+from repro.parallel.tracing import LoopTelemetry, tree_leaf_sum
 
 __all__ = ["TimingReport", "ScalingPoint", "strong_scaling_table"]
 
@@ -17,18 +19,61 @@ class TimingReport:
     total:
         Total simulated seconds.
     sections:
-        Per-phase breakdown (e.g. ``move``, ``coarsen``, ``prolong``).
+        Flat per-phase breakdown (e.g. ``move``, ``coarsen``, ``prolong``;
+        phases merged from nested sub-runtimes appear namespaced, e.g.
+        ``base/propagate``).
     threads:
         Thread count the run used.
+    loops:
+        Per-loop-label telemetry aggregates (imbalance, overhead shares,
+        stale-commit lag) from the runtime's loop records.
+    tree:
+        Hierarchical section tree (``{"name", "time", "children"}``
+        nodes); its leaves sum exactly to ``total``.
     """
 
     total: float
     threads: int
     sections: dict[str, float] = field(default_factory=dict)
+    loops: dict[str, LoopTelemetry] = field(default_factory=dict)
+    tree: dict[str, Any] | None = None
 
     def rate(self, work: float) -> float:
         """Processing rate (work units per simulated second)."""
         return work / self.total if self.total > 0 else float("inf")
+
+    # -- telemetry aggregates ------------------------------------------
+    @property
+    def loop_time(self) -> float:
+        """Simulated seconds spent inside ``parallel_for`` loops."""
+        return sum(t.time for t in self.loops.values())
+
+    @property
+    def loop_imbalance(self) -> float:
+        """Time-weighted mean per-loop thread imbalance (1.0 = perfect)."""
+        time = self.loop_time
+        if time <= 0:
+            return 1.0
+        return sum(t.imbalance * t.time for t in self.loops.values()) / time
+
+    @property
+    def overhead(self) -> float:
+        """Total dispatch + barrier overhead across all loops."""
+        return sum(t.overhead for t in self.loops.values())
+
+    @property
+    def overhead_share(self) -> float:
+        """Fraction of loop thread-seconds lost to dispatch/barrier
+        overhead (the paper's "overhead due to parallelism")."""
+        busy = sum(t.busy for t in self.loops.values())
+        denom = busy + self.overhead
+        return self.overhead / denom if denom > 0 else 0.0
+
+    def tree_total(self) -> float:
+        """Sum of the section tree's leaves (== ``total`` by invariant)."""
+        if self.tree is None:
+            return self.total
+        return tree_leaf_sum(self.tree)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,420 @@
+"""Structured runtime telemetry: block events, loop records, trace export.
+
+The discrete-event executor in :mod:`repro.parallel.runtime` knows exactly
+where every simulated nanosecond goes — which thread ran which block of
+which loop, how much dispatch and barrier overhead each loop paid, and how
+stale the shared state was when a kernel read it. This module gives that
+knowledge a shape:
+
+* :class:`BlockEvent` — one record per executed commit block (opt-in via
+  :class:`Tracer`; a large run produces many of these),
+* :class:`LoopRecord` — one record per ``parallel_for`` call (always on;
+  a run produces tens to hundreds),
+* :class:`LoopTelemetry` — per-label aggregation of loop records, folded
+  into :class:`~repro.parallel.metrics.TimingReport`,
+* a hierarchical **section tree** built from path-keyed section times,
+  whose leaves sum exactly to the run's total simulated time (nested and
+  sub-runtime sections included — see
+  :meth:`~repro.parallel.runtime.ParallelRuntime.join_max`),
+* :func:`chrome_trace` — export of a :class:`Tracer`'s events as
+  Chrome-trace / Perfetto JSON with simulated threads as tracks (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev).
+
+**Stale-commit lag.** When a block's kernel reads the shared state at
+simulated time ``t``, every commit scheduled to land at a time ``> t`` is
+invisible to it — that is the runtime's mechanical reproduction of the
+paper's benign races. The *stale lag* of a block is the gap between its
+read time and the latest such in-flight commit, i.e. how far into the
+"future" the writes it missed will land; a loop's mean/max lag quantifies
+how asynchronously it actually ran (0 for 1 thread, growing with thread
+count and chunk size).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BlockEvent",
+    "SectionSpan",
+    "LoopRecord",
+    "LoopTelemetry",
+    "Tracer",
+    "aggregate_loops",
+    "build_section_tree",
+    "tree_leaf_sum",
+    "format_section_tree",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Event records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockEvent:
+    """One executed commit block of one simulated parallel loop.
+
+    Times are absolute simulated seconds (sub-runtimes are offset by the
+    parent clock at :meth:`~repro.parallel.runtime.ParallelRuntime.split`
+    time, so ensemble tracks overlay correctly in the trace viewer).
+    """
+
+    loop: str  #: loop label (e.g. ``"plp.propagate"``)
+    runtime: str  #: runtime track name (``"main"``, ``"main.base0"``, ...)
+    schedule: str  #: schedule kind that produced the chunk
+    thread: int  #: simulated thread id within the runtime
+    start: float  #: sim time the block's kernel reads shared state
+    end: float  #: sim time the block's update commits
+    cost: float  #: work units charged
+    items: int  #: loop items covered
+    chunk: int  #: index of the owning chunk within the loop
+    dispatch: float  #: dispatch overhead paid at this block (chunk heads)
+    stale_lag: float  #: gap to the latest in-flight commit invisible at ``start``
+
+
+@dataclass(frozen=True)
+class SectionSpan:
+    """One completed ``runtime.section(...)`` block (absolute sim times)."""
+
+    runtime: str
+    path: tuple[str, ...]
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """Summary of one ``parallel_for`` call (always recorded)."""
+
+    loop: str
+    runtime: str
+    schedule: str
+    threads: int
+    start: float  #: absolute sim time the loop began
+    elapsed: float
+    total_cost: float
+    items: int
+    chunks: int
+    blocks: int
+    busy: tuple[float, ...]  #: per-thread kernel time
+    dispatch: tuple[float, ...]  #: per-thread dispatch overhead
+    barrier: float  #: end-of-loop barrier cost
+    memory_bound: float
+    stale_lag_sum: float
+    stale_lag_max: float
+    stale_blocks: int  #: blocks that had at least one invisible in-flight commit
+
+    @property
+    def imbalance(self) -> float:
+        """Max over mean per-thread busy time (1.0 = perfectly balanced)."""
+        busy = np.asarray(self.busy)
+        mean = busy.mean() if busy.size else 0.0
+        return float(busy.max() / mean) if mean > 0 else 1.0
+
+    @property
+    def busy_time(self) -> float:
+        """Total thread-seconds spent in kernels."""
+        return float(sum(self.busy))
+
+    @property
+    def overhead(self) -> float:
+        """Dispatch + barrier overhead (simulated seconds, summed)."""
+        return float(sum(self.dispatch)) + self.barrier
+
+    @property
+    def overhead_share(self) -> float:
+        """Fraction of the loop's thread-seconds spent on dispatch/barrier
+        overhead rather than kernel work (the paper's "overhead due to
+        parallelism")."""
+        denom = self.busy_time + self.overhead
+        return self.overhead / denom if denom > 0 else 0.0
+
+    @property
+    def stale_lag_mean(self) -> float:
+        """Mean stale-commit lag over all blocks (0 when fully sequential)."""
+        return self.stale_lag_sum / self.blocks if self.blocks else 0.0
+
+
+@dataclass(frozen=True)
+class LoopTelemetry:
+    """All ``parallel_for`` calls carrying one loop label, aggregated."""
+
+    loop: str
+    calls: int
+    time: float  #: summed elapsed simulated seconds
+    total_cost: float
+    items: int
+    chunks: int
+    blocks: int
+    imbalance: float  #: time-weighted mean of per-call imbalance
+    busy: float  #: summed thread-seconds in kernels
+    overhead: float  #: summed dispatch + barrier overhead
+    memory_bound: float  #: time-weighted mean memory-bound fraction
+    stale_lag_mean: float  #: block-weighted mean stale-commit lag
+    stale_lag_max: float
+
+    @property
+    def overhead_share(self) -> float:
+        """Overhead as a fraction of the loops' thread-seconds."""
+        denom = self.busy + self.overhead
+        return self.overhead / denom if denom > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict form for reports and JSON."""
+        return {
+            "calls": self.calls,
+            "time": self.time,
+            "total_cost": self.total_cost,
+            "items": self.items,
+            "chunks": self.chunks,
+            "blocks": self.blocks,
+            "imbalance": self.imbalance,
+            "busy": self.busy,
+            "overhead": self.overhead,
+            "overhead_share": self.overhead_share,
+            "memory_bound": self.memory_bound,
+            "stale_lag_mean": self.stale_lag_mean,
+            "stale_lag_max": self.stale_lag_max,
+        }
+
+
+def aggregate_loops(records: Iterable[LoopRecord]) -> dict[str, LoopTelemetry]:
+    """Group loop records by label into :class:`LoopTelemetry` summaries."""
+    by_label: dict[str, list[LoopRecord]] = {}
+    for rec in records:
+        by_label.setdefault(rec.loop, []).append(rec)
+    out: dict[str, LoopTelemetry] = {}
+    for label, recs in by_label.items():
+        time = sum(r.elapsed for r in recs)
+        blocks = sum(r.blocks for r in recs)
+        out[label] = LoopTelemetry(
+            loop=label,
+            calls=len(recs),
+            time=time,
+            total_cost=sum(r.total_cost for r in recs),
+            items=sum(r.items for r in recs),
+            chunks=sum(r.chunks for r in recs),
+            blocks=blocks,
+            imbalance=(
+                sum(r.imbalance * r.elapsed for r in recs) / time
+                if time > 0
+                else 1.0
+            ),
+            busy=sum(r.busy_time for r in recs),
+            overhead=sum(r.overhead for r in recs),
+            memory_bound=(
+                sum(r.memory_bound * r.elapsed for r in recs) / time
+                if time > 0
+                else 0.0
+            ),
+            stale_lag_mean=(
+                sum(r.stale_lag_sum for r in recs) / blocks if blocks else 0.0
+            ),
+            stale_lag_max=max((r.stale_lag_max for r in recs), default=0.0),
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Section tree
+# ----------------------------------------------------------------------
+def build_section_tree(
+    paths: Mapping[tuple[str, ...], float], total: float, name: str = "total"
+) -> dict[str, Any]:
+    """Fold path-keyed inclusive section times into a nested tree.
+
+    ``paths`` maps section paths (e.g. ``("final", "move")``) to inclusive
+    simulated time. The returned node is
+    ``{"name", "time", "children": [...]}``; every node whose children do
+    not account for all of its time receives an ``"(untracked)"`` leaf, so
+    **the leaves of the tree sum exactly to** ``total`` (this is the
+    invariant the tests assert, and what makes per-phase breakdowns — EPP
+    sub-runtime sections included — trustworthy).
+    """
+
+    def children_of(prefix: tuple[str, ...], budget: float) -> list[dict]:
+        depth = len(prefix)
+        names = []
+        for path in paths:
+            if len(path) == depth + 1 and path[:depth] == prefix:
+                if path[depth] not in names:
+                    names.append(path[depth])
+        nodes = []
+        accounted = 0.0
+        for child in names:
+            path = prefix + (child,)
+            t = paths[path]
+            nodes.append(
+                {
+                    "name": child,
+                    "time": t,
+                    "children": children_of(path, t),
+                }
+            )
+            accounted += t
+        rest = budget - accounted
+        if nodes and rest != 0.0:
+            nodes.append({"name": "(untracked)", "time": rest, "children": []})
+        return nodes
+
+    return {"name": name, "time": total, "children": children_of((), total)}
+
+
+def tree_leaf_sum(node: Mapping[str, Any]) -> float:
+    """Sum of the tree's leaf times (equals ``node['time']`` by invariant)."""
+    children = node.get("children") or []
+    if not children:
+        return float(node["time"])
+    return float(sum(tree_leaf_sum(c) for c in children))
+
+
+def format_section_tree(node: Mapping[str, Any], indent: int = 0) -> str:
+    """Render the section tree as an indented text block with shares."""
+    total = float(node["time"]) if indent == 0 else None
+    lines: list[str] = []
+
+    def walk(n: Mapping[str, Any], depth: int, root_time: float) -> None:
+        share = (
+            f"  ({100.0 * float(n['time']) / root_time:5.1f}%)"
+            if root_time > 0
+            else ""
+        )
+        lines.append(f"{'  ' * depth}{n['name']:<24s} {float(n['time']):.6f}s{share}")
+        for child in n.get("children") or []:
+            walk(child, depth + 1, root_time)
+
+    walk(node, indent, total if total else float(node["time"]) or 1.0)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The tracer
+# ----------------------------------------------------------------------
+class Tracer:
+    """Opt-in structured event recorder for :class:`ParallelRuntime`.
+
+    Attach at construction (``ParallelRuntime(..., tracer=Tracer())``);
+    sub-runtimes created by ``split()`` inherit it, so ensemble phases land
+    on their own tracks. Block events are only recorded while a tracer is
+    attached — loop records and section trees are always kept by the
+    runtime itself.
+    """
+
+    def __init__(self, capture_blocks: bool = True) -> None:
+        self.capture_blocks = capture_blocks
+        self.events: list[BlockEvent] = []
+        self.sections: list[SectionSpan] = []
+
+    def record_block(self, event: BlockEvent) -> None:
+        if self.capture_blocks:
+            self.events.append(event)
+
+    def record_section(self, span: SectionSpan) -> None:
+        self.sections.append(span)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.sections.clear()
+
+    def __len__(self) -> int:  # pragma: no cover - convenience
+        return len(self.events)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace / Perfetto export
+# ----------------------------------------------------------------------
+_SECTION_TID = 1_000_000  #: synthetic tid carrying section spans per runtime
+
+
+def chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """Convert a tracer's records to the Chrome trace-event JSON format.
+
+    Simulated runtimes become processes (``pid``), their simulated threads
+    become tracks (``tid``); blocks and section spans are complete events
+    (``"ph": "X"``) with microsecond timestamps. The result loads directly
+    in ``chrome://tracing`` and Perfetto.
+    """
+    pids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+
+    def pid_of(runtime: str) -> int:
+        if runtime not in pids:
+            pid = len(pids) + 1
+            pids[runtime] = pid
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"sim:{runtime}"},
+                }
+            )
+        return pids[runtime]
+
+    seen_tids: set[tuple[int, int]] = set()
+
+    def ensure_tid(pid: int, tid: int, label: str) -> None:
+        if (pid, tid) not in seen_tids:
+            seen_tids.add((pid, tid))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+
+    for ev in tracer.events:
+        pid = pid_of(ev.runtime)
+        ensure_tid(pid, ev.thread, f"thread {ev.thread}")
+        events.append(
+            {
+                "name": ev.loop,
+                "cat": ev.schedule,
+                "ph": "X",
+                "ts": ev.start * 1e6,
+                "dur": max(0.0, (ev.end - ev.start) * 1e6),
+                "pid": pid,
+                "tid": ev.thread,
+                "args": {
+                    "cost": ev.cost,
+                    "items": ev.items,
+                    "chunk": ev.chunk,
+                    "dispatch_us": ev.dispatch * 1e6,
+                    "stale_lag_us": ev.stale_lag * 1e6,
+                },
+            }
+        )
+    for span in tracer.sections:
+        pid = pid_of(span.runtime)
+        tid = _SECTION_TID + len(span.path) - 1
+        ensure_tid(pid, tid, f"sections (depth {len(span.path)})")
+        events.append(
+            {
+                "name": "/".join(span.path),
+                "cat": "section",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(0.0, (span.end - span.start) * 1e6),
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the event count."""
+    doc = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

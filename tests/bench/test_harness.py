@@ -42,6 +42,27 @@ class TestRunMatrix:
         index = aggregate_rows(small_matrix)
         assert ("PLP", "clique-pair") in index
 
+    def test_rows_carry_loop_telemetry(self, small_matrix):
+        for row in small_matrix:
+            assert row.imbalance >= 1.0
+            assert 0.0 <= row.overhead_share <= 1.0
+            assert row.loops  # at least one labelled loop per algorithm
+            for stats in row.loops.values():
+                assert set(stats) == {
+                    "time",
+                    "imbalance",
+                    "overhead_share",
+                    "stale_lag_mean",
+                }
+                assert stats["time"] > 0
+
+    def test_loop_labels_follow_algorithm(self, small_matrix):
+        index = aggregate_rows(small_matrix)
+        plp = index[("PLP", "clique-pair")]
+        plm = index[("PLM", "clique-pair")]
+        assert "plp.propagate" in plp.loops
+        assert "plm.move" in plm.loops
+
 
 class TestRelativeToBaseline:
     def test_baseline_excluded(self, small_matrix):

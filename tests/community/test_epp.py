@@ -111,6 +111,23 @@ class TestTimingModel:
         assert np.array_equal(a.labels, b.labels)
         assert a.timing.total == b.timing.total
 
+    def test_base_sections_merged_into_report(self, planted):
+        """split()/join_max() must surface the ensemble's sub-runtime
+        sections (namespaced) so the breakdown adds up to elapsed."""
+        graph, _ = planted
+        timing = EPP(threads=32, seed=5).run(graph).timing
+        assert "base/propagate" in timing.sections
+        assert "combine" in timing.sections and "final" in timing.sections
+        # The hierarchical tree's leaves account for every simulated second.
+        assert timing.tree_total() == pytest.approx(timing.total, abs=1e-9)
+
+    def test_base_loop_telemetry_adopted(self, planted):
+        """The ensemble's PLP loops appear in the parent's telemetry."""
+        graph, _ = planted
+        timing = EPP(threads=32, seed=5).run(graph).timing
+        assert "plp.propagate" in timing.loops
+        assert timing.loops["plp.propagate"].calls >= 4  # one per base run
+
     def test_faster_than_final_alone_or_close(self, planted):
         """EPP's coarsening should keep the final phase cheap: EPP must not
         cost more than a small multiple of a full PLM run."""

@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.community import PLP
-from repro.graph import generators
+from repro.community._kernels import gather_neighborhoods
+from repro.community.plp import _hash_jitter
+from repro.graph import GraphBuilder, generators
+from repro.parallel.runtime import ParallelRuntime
 from repro.partition.compare import jaccard_index
 from repro.partition.quality import modularity
 
@@ -117,6 +120,127 @@ class TestParallelBehaviour:
         for schedule in ("static", "dynamic", "guided"):
             result = PLP(threads=8, schedule=schedule, seed=8).run(graph)
             assert result.partition.k >= 1
+
+
+class TestCommitSemantics:
+    """The reactivation-ordering fix and exact sequential equivalence."""
+
+    @staticmethod
+    def _reactivation_gadget(copies=8):
+        """``copies`` disjoint 4-node gadgets A-B-X-Z exposing the bug.
+
+        Within one gadget (edges A-B w=2, A-Z w=1, B-X w=3; A and B share
+        a label, X and Z have their own): A's label is dominant (stable)
+        while B moves to X's label. If A and B land in the *same* commit
+        block and stable nodes are deactivated after the move's
+        reactivation, A goes inactive despite its neighborhood changing
+        and stays stuck on a label no neighbor carries.
+        """
+        b = GraphBuilder(4 * copies)
+        labels = np.arange(4 * copies, dtype=np.int64)
+        active = np.zeros(4 * copies, dtype=bool)
+        for i in range(copies):
+            a, bb, x, z = 4 * i, 4 * i + 1, 4 * i + 2, 4 * i + 3
+            b.add_edge(a, bb, 2.0)
+            b.add_edge(a, z, 1.0)
+            b.add_edge(bb, x, 3.0)
+            labels[a] = bb  # A and B share B's label
+            active[a] = active[bb] = True
+        return b.build(), labels, active
+
+    def test_stable_nodes_deactivated_before_reactivation(self):
+        """Regression for the commit ordering in PLP's update.
+
+        Seed 3 is chosen so the first iteration's permutation puts several
+        (A, B) gadget pairs inside one grain-2 block (16 active items, one
+        thread). With the fixed ordering every A follows its neighborhood
+        to X's label; with deactivation applied last, those As are
+        deactivated in the same commit that changed their neighborhood and
+        can never converge.
+        """
+        graph, labels, active = self._reactivation_gadget()
+        plp = PLP(threads=1, theta_factor=0.0)
+        runtime = ParallelRuntime(threads=1)
+        rng = np.random.default_rng(3)
+        plp._propagate(graph, labels, active, runtime, rng, "propagate")
+        for i in range(8):
+            a, x = 4 * i, 4 * i + 2
+            assert labels[a] == labels[x], f"gadget {i}: A stuck on a dead label"
+
+    def test_single_thread_matches_sequential_reference(self):
+        """threads=1, grain=1 is *exactly* sequential-asynchronous.
+
+        A plain Python loop replicating Algorithm 1 node by node (visiting
+        the same permuted order, applying every update immediately) must
+        produce bitwise-identical labels.
+        """
+        edges = [
+            (0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5),
+            (5, 6), (6, 7), (7, 8), (6, 8), (8, 9), (9, 10), (10, 11),
+            (9, 11), (2, 6), (4, 9),
+        ]
+        b = GraphBuilder(12)
+        for u, v in edges:
+            b.add_edge(u, v, 1.0)
+        graph = b.build()
+        seed = 17
+
+        # _run gives the raw label array (run() would canonicalize ids).
+        plp = PLP(threads=1, theta_factor=0.0, seed=seed)
+        plp_labels, _ = plp._run(graph, ParallelRuntime(threads=1))
+
+        # Reference: same RNG consumption, same scores, immediate updates.
+        labels = np.arange(12, dtype=np.int64)
+        degrees = graph.degrees()
+        active = degrees > 0
+        rng = np.random.default_rng(seed)
+        base_salt = np.uint64(rng.integers(1, 2**63))
+        iteration = 0
+        while iteration < 128:
+            items = np.flatnonzero(active & (degrees > 0))
+            if items.size == 0:
+                break
+            items = rng.permutation(items)
+            with np.errstate(over="ignore"):
+                salt = base_salt + np.uint64(iteration * 1_000_003)
+            updated = 0
+            for u in items:
+                _, nbrs, ws = gather_neighborhoods(graph, np.array([u]))
+                labs, inv = np.unique(labels[nbrs], return_inverse=True)
+                weights = np.zeros(labs.size)
+                np.add.at(weights, inv, ws)
+                node_ids = np.full(labs.size, u, dtype=np.int64)
+                score = weights + 1e-9 * (1.0 + weights) * _hash_jitter(
+                    node_ids, labs, salt
+                )
+                # argmax with ties toward the larger label
+                order = np.lexsort((labs, score))
+                best_lab, best_w = labs[order[-1]], score[order[-1]]
+                cur = labels[u]
+                cur_w = float(weights[labs == cur][0]) if cur in labs else 0.0
+                cur_score = cur_w + 1e-9 * (1.0 + cur_w) * _hash_jitter(
+                    np.array([u]), np.array([cur]), salt
+                )
+                if best_w > cur_score and best_lab != cur:
+                    labels[u] = best_lab
+                    updated += 1
+                    active[nbrs] = True
+                else:
+                    active[u] = False
+            iteration += 1
+            if updated == 0:
+                break
+
+        assert np.array_equal(plp_labels, labels)
+
+    def test_loop_telemetry_labelled(self, planted):
+        graph, _ = planted
+        result = PLP(threads=8, seed=4).run(graph)
+        assert set(result.timing.loops) == {"plp.propagate"}
+        tel = result.timing.loops["plp.propagate"]
+        assert tel.calls == result.info["iterations"]
+        assert 0.0 <= tel.overhead_share <= 1.0
+        assert tel.imbalance >= 1.0
 
 
 class TestPerturbation:

@@ -1,10 +1,13 @@
 """Tests for the event-driven simulated executor."""
 
+import itertools
+
 import numpy as np
 import pytest
 
 from repro.parallel.machine import Machine
 from repro.parallel.runtime import ParallelRuntime
+from repro.parallel.tracing import Tracer
 
 FAST_MACHINE = Machine(dispatch_overhead_s=0.0, barrier_overhead_s=0.0)
 
@@ -158,6 +161,105 @@ class TestParallelFor:
         assert run() == run()
 
 
+class TestScheduleKwargValidation:
+    """Schedule kwargs the chosen schedule would silently ignore are errors."""
+
+    def test_chunk_size_requires_dynamic(self):
+        rt = ParallelRuntime(threads=4)
+        for kind in ("static", "guided"):
+            with pytest.raises(ValueError, match="chunk_size"):
+                rt.parallel_for(
+                    np.arange(10), lambda c: None, schedule=kind, chunk_size=4
+                )
+
+    def test_min_chunk_requires_guided(self):
+        rt = ParallelRuntime(threads=4)
+        for kind in ("static", "dynamic"):
+            with pytest.raises(ValueError, match="min_chunk"):
+                rt.parallel_for(
+                    np.arange(10), lambda c: None, schedule=kind, min_chunk=4
+                )
+
+    def test_matching_kwargs_accepted(self):
+        rt = ParallelRuntime(threads=4)
+        rt.parallel_for(np.arange(10), lambda c: None, schedule="dynamic", chunk_size=4)
+        rt.parallel_for(np.arange(10), lambda c: None, schedule="guided", min_chunk=4)
+
+
+class TestExecutorInvariants:
+    def test_commits_happen_in_nondecreasing_sim_time(self):
+        """Updates must land in simulated completion order, regardless of
+        the order blocks were executed in."""
+        tracer = Tracer()
+        rt = ParallelRuntime(threads=8, tracer=tracer)
+        counter = itertools.count()
+        committed = []
+        costs = np.tile([1.0, 40.0, 3.0, 9.0], 64)
+        rt.parallel_for(
+            np.arange(256),
+            lambda chunk: next(counter),
+            committed.append,
+            costs=costs,
+            grain=8,
+        )
+        # Kernel call i produced trace event i; replay the commit order.
+        assert sorted(committed) == list(range(len(tracer.events)))
+        ends = [tracer.events[i].end for i in committed]
+        assert all(a <= b for a, b in zip(ends, ends[1:]))
+
+    def test_busy_and_overhead_reconcile_with_elapsed(self):
+        """A thread's clock is exactly busy + dispatch (threads never wait
+        mid-loop), so elapsed == max over threads + barrier."""
+        rt = ParallelRuntime(threads=8)
+        costs = np.tile([1.0, 25.0, 5.0, 80.0], 128)
+        stats = rt.parallel_for(
+            np.arange(512), lambda c: None, costs=costs, grain=16
+        )
+        clocks = [b + d for b, d in zip(stats.busy, stats.dispatch)]
+        assert stats.elapsed == pytest.approx(
+            max(clocks) + stats.barrier, abs=1e-15
+        )
+        assert stats.overhead == pytest.approx(
+            sum(stats.dispatch) + stats.barrier
+        )
+        assert 0.0 <= stats.overhead_share <= 1.0
+
+    def test_single_thread_zero_stale_lag(self):
+        rt = ParallelRuntime(threads=1)
+        stats = rt.parallel_for(np.arange(64), lambda c: None, grain=4)
+        assert stats.stale_lag_sum == 0.0
+        assert stats.stale_blocks == 0
+
+    def test_multi_thread_positive_stale_lag(self):
+        rt = ParallelRuntime(FAST_MACHINE, threads=8)
+        stats = rt.parallel_for(np.arange(64), lambda c: None, grain=4)
+        assert stats.stale_lag_max > 0.0
+        assert stats.stale_blocks > 0
+
+
+class TestReportSince:
+    def test_report_contains_loops_and_tree(self):
+        rt = ParallelRuntime(threads=4)
+        snap = rt.snapshot()
+        with rt.section("work"):
+            rt.parallel_for(np.arange(32), lambda c: None, loop="my.loop")
+        report = rt.report_since(snap)
+        assert report.total == pytest.approx(rt.elapsed)
+        assert set(report.loops) == {"my.loop"}
+        assert report.tree_total() == pytest.approx(report.total, abs=1e-9)
+
+    def test_report_excludes_prior_history(self):
+        rt = ParallelRuntime(threads=4)
+        with rt.section("before"):
+            rt.parallel_for(np.arange(32), lambda c: None, loop="before.loop")
+        snap = rt.snapshot()
+        with rt.section("after"):
+            rt.parallel_for(np.arange(32), lambda c: None, loop="after.loop")
+        report = rt.report_since(snap)
+        assert set(report.loops) == {"after.loop"}
+        assert "before" not in report.sections
+
+
 class TestNestedParallelism:
     def test_split_divides_threads(self):
         rt = ParallelRuntime(threads=32)
@@ -190,3 +292,38 @@ class TestNestedParallelism:
     def test_split_validates(self):
         with pytest.raises(ValueError):
             ParallelRuntime().split(0)
+
+    def test_join_merges_sub_sections_namespaced(self):
+        rt = ParallelRuntime(threads=8)
+        subs = rt.split(2, prefix="base")
+        for sub in subs:
+            with sub.section("work"):
+                sub.charge(1e6)
+        rt.join_max(subs, prefix="base")
+        assert "base/work" in rt.sections
+        # The merged sections account for exactly the joined time.
+        assert rt.sections["base/work"] == pytest.approx(rt.elapsed)
+
+    def test_join_scales_sections_to_wave_model(self):
+        """Oversubscribed ensembles run in waves; merged sub sections are
+        scaled so the breakdown still sums to the time actually charged."""
+        rt = ParallelRuntime(threads=4)
+        subs = [ParallelRuntime(rt.machine, 2) for _ in range(4)]
+        for sub in subs:
+            with sub.section("work"):
+                sub.charge(1e6)
+        dt = rt.join_max(subs, prefix="base")
+        assert rt.sections["base/work"] == pytest.approx(dt)
+        tree = rt.section_tree()
+        from repro.parallel.tracing import tree_leaf_sum
+
+        assert tree_leaf_sum(tree) == pytest.approx(rt.elapsed, abs=1e-12)
+
+    def test_join_adopts_sub_loop_records(self):
+        rt = ParallelRuntime(threads=8)
+        subs = rt.split(2, prefix="base")
+        for sub in subs:
+            sub.parallel_for(np.arange(16), lambda c: None, loop="sub.loop")
+        rt.join_max(subs, prefix="base")
+        assert [r.loop for r in rt.loop_records] == ["sub.loop", "sub.loop"]
+        assert all(not s.loop_records for s in subs)

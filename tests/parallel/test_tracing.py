@@ -1,0 +1,232 @@
+"""Tests for the runtime observability layer (tracing module)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.community import EPP, PLM
+from repro.parallel.machine import Machine
+from repro.parallel.runtime import ParallelRuntime
+from repro.parallel.tracing import (
+    LoopRecord,
+    Tracer,
+    aggregate_loops,
+    build_section_tree,
+    chrome_trace,
+    format_section_tree,
+    tree_leaf_sum,
+    write_chrome_trace,
+)
+
+FAST_MACHINE = Machine(dispatch_overhead_s=0.0, barrier_overhead_s=0.0)
+
+
+def _record(loop="l", elapsed=1.0, busy=(0.4, 0.4), dispatch=(0.05, 0.05),
+            barrier=0.1, blocks=4, stale_sum=0.0, stale_max=0.0, stale_blocks=0):
+    return LoopRecord(
+        loop=loop,
+        runtime="main",
+        schedule="guided",
+        threads=len(busy),
+        start=0.0,
+        elapsed=elapsed,
+        total_cost=100.0,
+        items=10,
+        chunks=2,
+        blocks=blocks,
+        busy=busy,
+        dispatch=dispatch,
+        barrier=barrier,
+        memory_bound=0.5,
+        stale_lag_sum=stale_sum,
+        stale_lag_max=stale_max,
+        stale_blocks=stale_blocks,
+    )
+
+
+class TestLoopRecord:
+    def test_imbalance(self):
+        rec = _record(busy=(3.0, 1.0))
+        assert rec.imbalance == pytest.approx(1.5)
+
+    def test_overhead_share_bounded(self):
+        rec = _record(busy=(0.4, 0.4), dispatch=(0.05, 0.05), barrier=0.1)
+        assert rec.overhead == pytest.approx(0.2)
+        assert rec.overhead_share == pytest.approx(0.2 / (0.8 + 0.2))
+        assert 0.0 <= rec.overhead_share <= 1.0
+
+    def test_stale_lag_mean(self):
+        rec = _record(blocks=4, stale_sum=2.0)
+        assert rec.stale_lag_mean == pytest.approx(0.5)
+
+
+class TestAggregateLoops:
+    def test_groups_by_label(self):
+        tel = aggregate_loops([_record("a"), _record("a"), _record("b")])
+        assert set(tel) == {"a", "b"}
+        assert tel["a"].calls == 2
+        assert tel["b"].calls == 1
+        assert tel["a"].time == pytest.approx(2.0)
+
+    def test_time_weighted_imbalance(self):
+        fast = _record("a", elapsed=1.0, busy=(1.0, 1.0))  # imbalance 1
+        slow = _record("a", elapsed=3.0, busy=(3.0, 1.0))  # imbalance 1.5
+        tel = aggregate_loops([fast, slow])["a"]
+        assert tel.imbalance == pytest.approx((1.0 * 1 + 1.5 * 3) / 4)
+
+    def test_as_dict_has_share(self):
+        d = aggregate_loops([_record("a")])["a"].as_dict()
+        assert 0.0 <= d["overhead_share"] <= 1.0
+        assert d["calls"] == 1
+
+    def test_empty(self):
+        assert aggregate_loops([]) == {}
+
+
+class TestSectionTree:
+    def test_leaves_sum_exactly(self):
+        paths = {("a",): 3.0, ("a", "x"): 1.0, ("b",): 2.0}
+        tree = build_section_tree(paths, 10.0)
+        assert tree_leaf_sum(tree) == pytest.approx(10.0, abs=0.0)
+
+    def test_untracked_leaf_inserted(self):
+        tree = build_section_tree({("a",): 3.0}, 10.0)
+        names = [c["name"] for c in tree["children"]]
+        assert names == ["a", "(untracked)"]
+        assert tree["children"][1]["time"] == pytest.approx(7.0)
+
+    def test_nested_children(self):
+        paths = {("a",): 3.0, ("a", "x"): 1.0, ("a", "y"): 2.0}
+        tree = build_section_tree(paths, 3.0)
+        (a,) = tree["children"]
+        assert [c["name"] for c in a["children"]] == ["x", "y"]
+        assert tree_leaf_sum(tree) == pytest.approx(3.0, abs=0.0)
+
+    def test_no_sections_is_single_leaf(self):
+        tree = build_section_tree({}, 5.0)
+        assert tree["children"] == []
+        assert tree_leaf_sum(tree) == 5.0
+
+    def test_format_lists_every_name(self):
+        tree = build_section_tree({("a",): 3.0, ("a", "x"): 1.0}, 4.0)
+        text = format_section_tree(tree)
+        for name in ("total", "a", "x", "(untracked)"):
+            assert name in text
+
+
+class TestTracerCapture:
+    def test_block_events_recorded(self):
+        tracer = Tracer()
+        rt = ParallelRuntime(FAST_MACHINE, threads=4, tracer=tracer)
+        stats = rt.parallel_for(np.arange(64), lambda c: None, grain=8, loop="work")
+        assert len(tracer.events) == stats.blocks
+        assert sum(e.items for e in tracer.events) == 64
+        assert {e.loop for e in tracer.events} == {"work"}
+        assert {e.runtime for e in tracer.events} == {"main"}
+        assert all(e.end >= e.start for e in tracer.events)
+
+    def test_capture_blocks_off(self):
+        tracer = Tracer(capture_blocks=False)
+        rt = ParallelRuntime(FAST_MACHINE, threads=4, tracer=tracer)
+        with rt.section("s"):
+            rt.parallel_for(np.arange(64), lambda c: None)
+        assert tracer.events == []
+        assert len(tracer.sections) == 1
+
+    def test_no_tracer_still_records_loops(self):
+        rt = ParallelRuntime(FAST_MACHINE, threads=4)
+        rt.parallel_for(np.arange(64), lambda c: None, loop="work")
+        assert [r.loop for r in rt.loop_records] == ["work"]
+
+    def test_split_inherits_tracer_with_offset(self):
+        tracer = Tracer()
+        rt = ParallelRuntime(FAST_MACHINE, threads=4, tracer=tracer)
+        rt.charge(1e6)
+        subs = rt.split(2, prefix="base")
+        subs[0].parallel_for(np.arange(8), lambda c: None, grain=8)
+        event = tracer.events[-1]
+        assert event.runtime == "main.base0"
+        assert event.start >= rt.elapsed  # offset to the parent clock
+
+    def test_clear(self):
+        tracer = Tracer()
+        rt = ParallelRuntime(FAST_MACHINE, threads=2, tracer=tracer)
+        rt.parallel_for(np.arange(8), lambda c: None)
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestChromeTrace:
+    @pytest.fixture()
+    def traced_run(self):
+        tracer = Tracer()
+        rt = ParallelRuntime(threads=4, tracer=tracer)
+        with rt.section("phase"):
+            rt.parallel_for(np.arange(128), lambda c: None, grain=16, loop="work")
+        return tracer
+
+    def test_structure(self, traced_run):
+        doc = chrome_trace(traced_run)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in events)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+
+    def test_metadata_names_tracks(self, traced_run):
+        doc = chrome_trace(traced_run)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert names == {"sim:main"}
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_section_events_on_own_track(self, traced_run):
+        doc = chrome_trace(traced_run)
+        sections = [
+            e for e in doc["traceEvents"] if e.get("cat") == "section"
+        ]
+        assert [e["name"] for e in sections] == ["phase"]
+        block_tids = {
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") != "section"
+        }
+        assert sections[0]["tid"] not in block_tids
+
+    def test_write_is_valid_json(self, traced_run, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(traced_run, str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count > 0
+
+
+class TestReportInvariants:
+    """The acceptance invariant: section-tree leaves sum to the total."""
+
+    def test_plm_tree_sums_to_total(self, planted):
+        graph, _ = planted
+        timing = PLM(threads=16, seed=0).run(graph).timing
+        assert timing.tree_total() == pytest.approx(timing.total, abs=1e-9)
+
+    def test_epp_tree_sums_to_total(self, planted):
+        """EPP nests sub-runtimes; their merged sections must still sum."""
+        graph, _ = planted
+        timing = EPP(threads=16, seed=0).run(graph).timing
+        assert timing.tree_total() == pytest.approx(timing.total, abs=1e-9)
+        assert "base/propagate" in timing.sections
+
+    def test_single_thread_has_zero_stale_lag(self, planted):
+        graph, _ = planted
+        timing = PLM(threads=1, seed=0).run(graph).timing
+        for tel in timing.loops.values():
+            assert tel.stale_lag_mean == 0.0
+            assert tel.stale_lag_max == 0.0
+
+    def test_multi_thread_sees_stale_state(self, planted):
+        graph, _ = planted
+        timing = PLM(threads=16, seed=0).run(graph).timing
+        assert any(tel.stale_lag_max > 0 for tel in timing.loops.values())

@@ -38,6 +38,33 @@ class TestDetect:
     def test_all_fast_algorithms(self, graph_file, alg, capsys):
         assert main(["detect", graph_file, "-a", alg, "-t", "4"]) == 0
 
+    def test_detect_trace_export(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main(
+            ["detect", graph_file, "-a", "epp", "-t", "8", "--trace", str(trace)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "section tree" in out
+        assert "per-loop telemetry" in out
+        assert "plp.propagate" in out
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert all(e["ph"] in ("X", "M") for e in events)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
+        # The ensemble's sub-runtimes appear as their own trace processes.
+        processes = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "sim:main" in processes
+        assert any(name.startswith("sim:main.base") for name in processes)
+
 
 class TestCompare:
     def test_compare_table(self, graph_file, capsys):
