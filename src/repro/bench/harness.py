@@ -7,6 +7,7 @@ This module provides exactly that machinery.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -26,7 +27,9 @@ AlgorithmFactory = Callable[[int], CommunityDetector]
 class ExperimentRow:
     """Averaged result of one (algorithm, network) cell.
 
-    ``time`` is simulated seconds; ``communities`` the mean community
+    ``time`` is simulated seconds; ``wall_time`` the mean *host* seconds a
+    run actually took (the two clocks are unrelated — see EXPERIMENTS.md);
+    ``communities`` the mean community
     count; ``runs`` the number of repetitions averaged. The telemetry
     fields come from the runtime's per-loop records: ``imbalance`` is the
     time-weighted mean thread imbalance over all parallel loops,
@@ -44,6 +47,7 @@ class ExperimentRow:
     runs: int
     imbalance: float = 1.0
     overhead_share: float = 0.0
+    wall_time: float = 0.0
     loops: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def key(self) -> tuple[str, str]:
@@ -61,10 +65,13 @@ def run_matrix(
     for graph in graphs:
         for name, factory in algorithms.items():
             mods, times, ks, imbalances, overheads = [], [], [], [], []
+            walls: list[float] = []
             loop_acc: dict[str, dict[str, list[float]]] = {}
             for r in range(runs):
                 detector = factory(seed + r)
+                t0 = time.perf_counter()
                 result = detector.run(graph)
+                walls.append(time.perf_counter() - t0)
                 mods.append(modularity(graph, result.partition))
                 times.append(result.timing.total)
                 ks.append(result.partition.k)
@@ -94,6 +101,7 @@ def run_matrix(
                     runs=runs,
                     imbalance=float(np.mean(imbalances)),
                     overhead_share=float(np.mean(overheads)),
+                    wall_time=float(np.mean(walls)),
                     loops={
                         label: {k: float(np.mean(v)) for k, v in acc.items()}
                         for label, acc in loop_acc.items()

@@ -1,0 +1,357 @@
+"""Host wall-clock microbenchmarks for the shared NumPy kernels.
+
+Two different clocks live in this repository:
+
+* **simulated seconds** — the paper's reproduced metric, produced by the
+  discrete-event :class:`~repro.parallel.runtime.ParallelRuntime`. They
+  model the 1996 paper's machine and are deterministic.
+* **host wall-clock** — how long the NumPy implementation underneath
+  actually takes on the machine running the suite. This module measures
+  that, so host-speed optimizations are tracked release over release
+  without ever touching the simulated cost model.
+
+The suite times the shared hot kernels (neighborhood gather, label
+group-by, segmented argmax, coarsening) and the PLM move-phase sweep on
+R-MAT and planted-partition graphs at several sizes, and the end-to-end
+detectors, emitting machine-readable JSON (``BENCH_kernels.json`` /
+``BENCH_e2e.json`` at the repo root). A previous run can be passed as a
+baseline, in which case every entry carries ``before_s`` / ``after_s`` /
+``speedup`` — the perf trajectory all future optimization PRs are
+measured against.
+
+Run locally::
+
+    PYTHONPATH=src python -m repro.bench.wallclock kernels --out BENCH_kernels.json
+    PYTHONPATH=src python -m repro.bench.wallclock e2e --out BENCH_e2e.json
+    PYTHONPATH=src python -m repro.bench.wallclock validate BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.community import PLM, PLMR, PLP
+from repro.community._kernels import gather_neighborhoods, group_label_weights
+from repro.graph.coarsening import coarsen
+from repro.graph.csr import Graph
+from repro.graph.generators import planted_partition, rmat
+from repro.parallel.runtime import ParallelRuntime
+
+__all__ = [
+    "SCHEMA",
+    "run_kernel_suite",
+    "run_e2e_suite",
+    "merge_baseline",
+    "validate_document",
+    "write_document",
+]
+
+SCHEMA = "repro-wallclock/v1"
+
+#: Per-entry keys every benchmark record must carry.
+REQUIRED_ENTRY_KEYS = ("name", "graph", "size", "n", "m", "repeats", "wall_s")
+
+
+# ----------------------------------------------------------------------
+# Graph presets
+# ----------------------------------------------------------------------
+def _graphs(preset: str) -> list[tuple[str, Graph]]:
+    """(size-label, graph) pairs for a preset.
+
+    Size labels name the target undirected edge count; the emitted entries
+    record the exact ``m`` of each instance.
+    """
+    if preset == "smoke":
+        return [
+            ("1k", planted_partition(400, 4, 0.08, 0.004, seed=42)[0]),
+            ("1k", rmat(8, 4, seed=42)),
+        ]
+    if preset == "full":
+        return [
+            ("10k", planted_partition(2000, 8, 0.04, 0.002, seed=42)[0]),
+            ("10k", rmat(11, 6, seed=42)),
+            ("100k", planted_partition(16000, 32, 0.018, 0.00025, seed=42)[0]),
+            ("100k", rmat(14, 7, seed=42)),
+        ]
+    raise ValueError(f"unknown preset {preset!r} (use 'smoke' or 'full')")
+
+
+def _time_best(fn: Callable[[], Any], repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` (after ``warmup`` calls)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _entry(
+    name: str,
+    graph: Graph,
+    size: str,
+    repeats: int,
+    wall_s: float,
+    **extra: Any,
+) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "name": name,
+        "graph": graph.name,
+        "size": size,
+        "n": int(graph.n),
+        "m": int(graph.m),
+        "repeats": int(repeats),
+        "wall_s": float(wall_s),
+    }
+    out.update(extra)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Kernel suite
+# ----------------------------------------------------------------------
+def run_kernel_suite(
+    preset: str = "full", repeats: int = 5, chunk: int = 32
+) -> list[dict[str, Any]]:
+    """Time the shared kernels; returns one record per (kernel, graph).
+
+    ``*_full`` entries measure one whole-graph vectorized call;
+    ``*_chunked`` entries sweep the graph in ``chunk``-node blocks over a
+    random permutation — the access pattern of the simulated executor's
+    grain blocks, where per-call overhead dominates.
+    """
+    entries: list[dict[str, Any]] = []
+    for size, graph in _graphs(preset):
+        rng = np.random.default_rng(7)
+        nodes = np.arange(graph.n, dtype=np.int64)
+        order = rng.permutation(nodes)
+        labels = rng.integers(0, max(2, graph.n // 10), size=graph.n)
+        groups = group_label_weights(graph, nodes, labels)
+        blocks = [
+            order[lo : lo + chunk] for lo in range(0, graph.n, chunk)
+        ]
+
+        def bench_gather_full():
+            return gather_neighborhoods(graph, nodes)
+
+        def bench_gather_chunked():
+            for b in blocks:
+                gather_neighborhoods(graph, b)
+
+        def bench_group_full():
+            return group_label_weights(graph, nodes, labels)
+
+        def bench_group_chunked():
+            for b in blocks:
+                group_label_weights(graph, b, labels)
+
+        def bench_argmax():
+            return groups.argmax_per_segment(graph.n)
+
+        def bench_weight_to_label():
+            return groups.weight_to_label(graph.n, labels)
+
+        def bench_coarsen():
+            return coarsen(graph, labels)
+
+        def bench_move_sweep():
+            plm = PLM(threads=1, seed=3)
+            lab = np.arange(graph.n, dtype=np.int64)
+            runtime = ParallelRuntime(threads=1)
+            plm._move_phase(graph, lab, runtime, "bench")
+
+        move_repeats = max(1, repeats // 2)
+        for name, fn, reps in (
+            ("gather_full", bench_gather_full, repeats),
+            ("gather_chunked", bench_gather_chunked, repeats),
+            ("group_full", bench_group_full, repeats),
+            ("group_chunked", bench_group_chunked, repeats),
+            ("argmax_per_segment", bench_argmax, repeats),
+            ("weight_to_label", bench_weight_to_label, repeats),
+            ("coarsen", bench_coarsen, repeats),
+            ("move_sweep", bench_move_sweep, move_repeats),
+        ):
+            entries.append(_entry(name, graph, size, reps, _time_best(fn, reps)))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# End-to-end suite
+# ----------------------------------------------------------------------
+def run_e2e_suite(preset: str = "full", repeats: int = 2) -> list[dict[str, Any]]:
+    """Wall-clock full detector runs; also records simulated seconds.
+
+    The simulated time is carried along as a tripwire: a host-speed
+    optimization must leave ``sim_s`` bit-identical, so a drift here means
+    the cost model or the algorithm itself changed.
+    """
+    entries: list[dict[str, Any]] = []
+    algorithms: list[tuple[str, Callable[[], Any]]] = [
+        ("plp", lambda: PLP(threads=4, seed=1)),
+        ("plm", lambda: PLM(threads=4, seed=1)),
+        ("plmr", lambda: PLMR(threads=4, seed=1)),
+    ]
+    for size, graph in _graphs(preset):
+        for name, factory in algorithms:
+            sim: dict[str, float] = {}
+
+            def bench():
+                result = factory().run(graph)
+                sim["s"] = result.timing.total
+
+            wall = _time_best(bench, repeats, warmup=1)
+            entries.append(
+                _entry(
+                    f"{name}_run",
+                    graph,
+                    size,
+                    repeats,
+                    wall,
+                    sim_s=float(sim["s"]),
+                )
+            )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Document assembly / validation
+# ----------------------------------------------------------------------
+def _host_info() -> dict[str, str]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def build_document(kind: str, preset: str, entries: list[dict[str, Any]]) -> dict:
+    return {
+        "schema": SCHEMA,
+        "kind": kind,
+        "preset": preset,
+        "host": _host_info(),
+        "benchmarks": entries,
+    }
+
+
+def merge_baseline(doc: dict, baseline: dict) -> dict:
+    """Attach before/after numbers from a baseline run of the same suite.
+
+    Entries are matched on (name, graph, size); every matched entry gains
+    ``before_s`` (baseline), ``after_s`` (this run) and ``speedup``.
+    """
+    index = {
+        (e["name"], e["graph"], e["size"]): e for e in baseline.get("benchmarks", [])
+    }
+    for entry in doc["benchmarks"]:
+        base = index.get((entry["name"], entry["graph"], entry["size"]))
+        if base is None:
+            continue
+        entry["before_s"] = float(base["wall_s"])
+        entry["after_s"] = float(entry["wall_s"])
+        if entry["after_s"] > 0:
+            entry["speedup"] = round(entry["before_s"] / entry["after_s"], 3)
+    return doc
+
+
+def validate_document(doc: dict) -> list[str]:
+    """Return a list of schema problems (empty = valid)."""
+    problems: list[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if doc.get("kind") not in ("kernels", "e2e"):
+        problems.append(f"kind must be 'kernels' or 'e2e', got {doc.get('kind')!r}")
+    if not isinstance(doc.get("host"), dict):
+        problems.append("host info missing")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        problems.append("benchmarks must be a non-empty list")
+        return problems
+    for i, entry in enumerate(benches):
+        for key in REQUIRED_ENTRY_KEYS:
+            if key not in entry:
+                problems.append(f"benchmarks[{i}] missing key {key!r}")
+        wall = entry.get("wall_s")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            problems.append(f"benchmarks[{i}].wall_s must be a non-negative number")
+    return problems
+
+
+def write_document(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
+    lines = []
+    for e in entries:
+        extra = ""
+        if "speedup" in e:
+            extra = f"  before={e['before_s']:.6f}s  speedup={e['speedup']:.2f}x"
+        lines.append(
+            f"{e['name']:>20s}  {e['graph']:<24s} {e['size']:>5s}  "
+            f"{e['wall_s']:.6f}s{extra}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.wallclock", description=__doc__.split("\n")[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for kind in ("kernels", "e2e"):
+        p = sub.add_parser(kind, help=f"run the {kind} suite")
+        p.add_argument("--preset", default="full", choices=["smoke", "full"])
+        p.add_argument("--repeats", type=int, default=5 if kind == "kernels" else 2)
+        p.add_argument("--out", default=f"BENCH_{kind}.json")
+        p.add_argument(
+            "--baseline",
+            default=None,
+            help="previous run of the same suite; adds before/after numbers",
+        )
+    v = sub.add_parser("validate", help="validate BENCH_*.json schema")
+    v.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+
+    if args.command == "validate":
+        failed = False
+        for path in args.files:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            problems = validate_document(doc)
+            if problems:
+                failed = True
+                print(f"{path}: INVALID")
+                for p in problems:
+                    print(f"  - {p}")
+            else:
+                print(f"{path}: ok ({len(doc['benchmarks'])} benchmarks)")
+        return 1 if failed else 0
+
+    if args.command == "kernels":
+        entries = run_kernel_suite(args.preset, repeats=args.repeats)
+    else:
+        entries = run_e2e_suite(args.preset, repeats=args.repeats)
+    doc = build_document(args.command, args.preset, entries)
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            doc = merge_baseline(doc, json.load(fh))
+    write_document(doc, args.out)
+    print(_format_rows(doc["benchmarks"]))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

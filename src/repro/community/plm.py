@@ -35,7 +35,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.community._kernels import group_label_weights
+from repro.community._kernels import neighborhood_cache
 from repro.community.base import CommunityDetector
 from repro.graph.coarsening import coarsen, prolong
 from repro.graph.csr import Graph
@@ -66,6 +66,10 @@ class PLM(CommunityDetector):
     seed:
         Tie-breaking seed (kept for API symmetry; PLM itself is
         deterministic given the runtime interleaving).
+    audit_modularity:
+        Recompute full modularity after every sweep and record
+        ``abs(incremental - full)`` in ``modularity_audit`` (testing hook;
+        the move phase itself always uses the incremental value).
     """
 
     name = "PLM"
@@ -79,6 +83,7 @@ class PLM(CommunityDetector):
         max_levels: int = 64,
         schedule: str = "guided",
         seed: int = 0,
+        audit_modularity: bool = False,
     ) -> None:
         super().__init__(threads=threads)
         if gamma < 0:
@@ -89,6 +94,9 @@ class PLM(CommunityDetector):
         self.max_levels = max_levels
         self.schedule = schedule
         self.seed = seed
+        self.audit_modularity = audit_modularity
+        #: abs(incremental - full) per audited sweep (see audit_modularity).
+        self.modularity_audit: list[float] = []
         if refine:
             self.name = "PLMR"
 
@@ -103,6 +111,29 @@ class PLM(CommunityDetector):
         """Algorithm 2: repeat parallel node moves until stable.
 
         Mutates ``labels`` in place; returns (changed_any, sweeps).
+
+        Host-speed engineering (the simulated schedule, costs and commit
+        sequence are bit-identical to the straightforward version):
+
+        * neighborhoods of the whole sweep order are pre-gathered once
+          (:class:`~repro.community._kernels.SweepPlan`); grain blocks
+          slice flat arrays instead of rebuilding index arithmetic;
+        * when the previous sweep moved almost nothing (near convergence),
+          the whole sweep's move decisions are *speculated* in one
+          vectorized pass over the
+          sweep-start state (``decide`` on the full order — the same code
+          path the per-block kernel runs, so the float operation tree is
+          identical by construction). A block accepts its speculated
+          decision only if none of its input communities changed since
+          the sweep started (``comm_dirty`` check, exact: commits mark
+          their source/destination communities, and a moved neighbor's
+          sweep-start label is its source, so any input drift is caught);
+          otherwise it re-evaluates against live state as usual. Most
+          blocks in a quiet sweep validate, turning ~50 NumPy calls into
+          ~10;
+        * modularity is tracked incrementally across sweeps from the moved
+          nodes' neighborhoods instead of an O(m) recomputation per sweep
+          (see ``audit_modularity`` for the invariant hook).
         """
         n = graph.n
         omega = graph.total_edge_weight
@@ -110,6 +141,7 @@ class PLM(CommunityDetector):
             return False, 0
         volumes = graph.volumes()
         degrees = graph.degrees()
+        cache = neighborhood_cache(graph)
         # Shared community-volume and size arrays (indexed by label id;
         # labels are 0..n-1 at most since they start as node ids/compacted).
         comm_vol = np.bincount(labels, weights=volumes, minlength=n).astype(
@@ -117,48 +149,249 @@ class PLM(CommunityDetector):
         )
         comm_size = np.bincount(labels, minlength=n).astype(np.int64)
         gamma = self.gamma
-        state = {"moves": 0}
+        state: dict[str, Any] = {"moves": 0, "spec": None, "spec_dirty": False}
+        # Communities whose volume/size changed since sweep start (only
+        # maintained while a speculation is active).
+        comm_dirty = np.zeros(n, dtype=bool)
+        moved_batches: list[np.ndarray] = []
         rng = np.random.default_rng(self.seed)
 
-        def kernel(chunk: np.ndarray):
-            groups = group_label_weights(graph, chunk, labels)
-            cur = labels[chunk]
-            vol_u = volumes[chunk]
-            w_cur = groups.weight_to_label(chunk.size, cur)
-            if groups.gseg.size == 0:
-                return None
-            # Gain of moving each chunk node to each neighboring community.
-            seg = groups.gseg
-            cand = groups.glab
+        width = np.int64(n)
+        fused_ok = n <= (np.iinfo(np.int64).max - n + 1) // max(n, 1)
+        # Above ~1k rows this NumPy's stable integer argsort (timsort) is
+        # 2-3x slower than introsort. Appending the row index as a tie
+        # component makes every key unique, and the *only* sorted
+        # permutation of unique keys is the stable one — so an unstable
+        # sort of ``key * rows + row`` returns bit-identical group order.
+        # Cap: keys are < n*n, so the fused unique key stays in int64 for
+        # row counts up to this bound.
+        ukey_cap = (
+            (np.iinfo(np.int64).max // max(1, n * n)) if fused_ok else 0
+        )
+
+        def decide(nodes, seg, nbrs, ws, cur=None, vol_u=None, keys=None, base=0):
+            """Fused move decision for ``nodes`` against the *current*
+            shared state.
+
+            Returns ``(pos, src, dst, vol)`` — positions into ``nodes``
+            of the moving nodes plus their current/target labels and
+            volumes — or ``None`` when nothing moves. One flat function
+            (group-by, gain, segmented argmax, symmetry breaking) so the
+            per-block NumPy dispatch count stays low; the float operation
+            tree is identical to the generic
+            :func:`~repro.community._kernels.group_from_gather` +
+            ``argmax_per_segment`` composition.
+
+            ``cur``/``vol_u``/``keys`` accept per-sweep precomputed views
+            (a node's label cannot change before its own block runs, so
+            the sweep-start slice *is* the live value); ``keys`` carries
+            the global fused key ``seg_global * width + labs`` whose
+            constant per-block shift ``base * width`` does not change the
+            stable sort order, and ``base`` shifts group segments back to
+            block-local positions.
+            """
+            if cur is None:
+                cur = labels[nodes]
+            if vol_u is None:
+                vol_u = volumes[nodes]
+            if keys is not None:
+                keys = keys + labels[nbrs]
+                m_rows = keys.size
+                if 1024 < m_rows <= ukey_cap:
+                    order_k = (
+                        keys * np.int64(m_rows) + np.arange(m_rows)
+                    ).argsort()
+                else:
+                    order_k = keys.argsort(kind="stable")
+                keys_s = keys[order_k]
+                boundary = np.empty(keys_s.size, dtype=bool)
+                boundary[0] = True
+                np.not_equal(keys_s[1:], keys_s[:-1], out=boundary[1:])
+                starts = boundary.nonzero()[0]
+                gkeys = keys_s[starts]
+                gseg, glab = np.divmod(gkeys, width)
+                if base:
+                    gseg -= base
+            elif fused_ok:
+                # Stable sort of the fused (segment, label) key == stable
+                # lexsort((labs, seg)); labels are node ids < n.
+                labs = labels[nbrs]
+                keys = seg * width + labs
+                order_k = keys.argsort(kind="stable")
+                keys_s = keys[order_k]
+                boundary = np.empty(keys_s.size, dtype=bool)
+                boundary[0] = True
+                np.not_equal(keys_s[1:], keys_s[:-1], out=boundary[1:])
+                starts = boundary.nonzero()[0]
+                gkeys = keys_s[starts]
+                gseg, glab = np.divmod(gkeys, width)
+            else:  # int64 overflow guard (n > ~3e9 only)
+                labs = labels[nbrs]
+                order_k = np.lexsort((labs, seg))
+                seg_s = seg[order_k]
+                labs_s = labs[order_k]
+                boundary = np.empty(seg_s.size, dtype=bool)
+                boundary[0] = True
+                np.logical_or(
+                    seg_s[1:] != seg_s[:-1],
+                    labs_s[1:] != labs_s[:-1],
+                    out=boundary[1:],
+                )
+                starts = boundary.nonzero()[0]
+                gseg = seg_s[starts]
+                glab = labs_s[starts]
+            gw = np.add.reduceat(ws[order_k], starts)
+            # Rows pointing at the node's own community: their summed
+            # weight is omega(u, C\\u), and they are excluded as move
+            # candidates (staying put is delta == 0).
+            rows = glab == cur[gseg]
+            w_cur = np.zeros(nodes.size, dtype=np.float64)
+            w_cur[gseg[rows]] = gw[rows]
+            # Gain of moving each node to each neighboring community.
             vol_c_wo_u = comm_vol[cur] - vol_u
-            delta = (groups.gw - w_cur[seg]) / omega + (
+            delta = (gw - w_cur[gseg]) / omega + (
                 gamma
-                * vol_u[seg]
-                * (vol_c_wo_u[seg] - comm_vol[cand])
+                * vol_u[gseg]
+                * (vol_c_wo_u[gseg] - comm_vol[glab])
                 / (2.0 * omega * omega)
             )
-            # Staying put is delta == 0; exclude the current community.
-            delta = np.where(cand == cur[seg], -np.inf, delta)
-            has, best_lab, best_delta = groups.argmax_per_segment(
-                chunk.size, score=delta
-            )
-            move = has & (best_delta > 1e-15)
+            # Only rows clearing the move threshold can win. The own-
+            # community row never does: its weight term is exactly 0.0
+            # (gw minus itself) and its volume term is <= 0.0 bit-for-bit
+            # (fl(a-b) <= a for b >= 0, so vol_c_wo_u - comm_vol[own]
+            # <= 0), so no explicit exclusion is needed and most blocks
+            # return here after a single comparison.
+            rows_p = (delta > 1e-15).nonzero()[0]
+            if rows_p.size == 0:
+                return None
+            # Segmented argmax over the positive rows only — a segment's
+            # global max is positive iff any of its rows is, and all rows
+            # tied at the max are positive, so restricting to them picks
+            # the same winner. np.maximum returns one of its operands
+            # bit-for-bit, so the equality probe is exact, and the *last*
+            # qualifying row of a run tie-breaks toward the larger label
+            # (rows are label-ascending within a run).
+            seg_p = gseg[rows_p]
+            delta_p = delta[rows_p]
+            run_start = np.empty(seg_p.size, dtype=bool)
+            run_start[0] = True
+            np.not_equal(seg_p[1:], seg_p[:-1], out=run_start[1:])
+            sstarts = run_start.nonzero()[0]
+            run_max = np.maximum.reduceat(delta_p, sstarts)
+            run_idx = np.cumsum(run_start) - 1
+            at_max = (delta_p == run_max[run_idx]).nonzero()[0]
+            seg_at = seg_p[at_max]
+            is_last = np.empty(seg_at.size, dtype=bool)
+            is_last[-1] = True
+            np.not_equal(seg_at[1:], seg_at[:-1], out=is_last[:-1])
+            win = rows_p[at_max[is_last]]
+            pos = seg_at[is_last]
+            dst = glab[win]
+            src = cur[pos]
             # Symmetry breaking for concurrent evaluation: two singleton
             # nodes may see the symmetric move (u -> {v}, v -> {u}) as
             # profitable on mutually stale data and swap forever. Allow a
-            # singleton -> singleton move only toward the smaller community
-            # id (the standard remedy in parallel Louvain codes).
-            singleton_swap = (
-                move
-                & (comm_size[labels[chunk]] == 1)
-                & (comm_size[best_lab] == 1)
-                & (best_lab > labels[chunk])
+            # singleton -> singleton move only toward the smaller
+            # community id (the standard remedy in parallel Louvain
+            # codes).
+            swap = (
+                (comm_size[src] == 1) & (comm_size[dst] == 1) & (dst > src)
             )
-            move &= ~singleton_swap
-            if not move.any():
-                return None
-            nodes = chunk[move]
-            return nodes, cur[move], best_lab[move], vol_u[move]
+            if swap.any():
+                keep = ~swap
+                pos = pos[keep]
+                src = src[keep]
+                dst = dst[keep]
+                if pos.size == 0:
+                    return None
+            return pos, src, dst, vol_u[pos]
+
+        def make_kernel(plan, labels_ord, vol_ord, keys_base, spec):
+            """Bind the sweep's precomputed arrays into a fresh kernel
+            closure (cheaper per block than dict lookups + method calls).
+
+            ``labels_ord``/``vol_ord`` are sweep-start per-position views;
+            a node's label/volume cannot change before its own block runs,
+            so basic slices of them are bit-identical to the fancy gathers
+            ``labels[chunk]``/``volumes[chunk]`` the generic path does.
+            """
+            order_arr = plan.order
+            ostrides = order_arr.strides
+            inv = plan._inv
+            bounds = plan.bounds
+            nbrs_all = plan.nbrs
+            ws_all = plan.ws
+            if spec is not None:
+                s_move, s_lab, s_vol, s_nbr_labs = spec
+
+            def kernel(chunk: np.ndarray):
+                if not (
+                    chunk.base is order_arr
+                    and chunk.strides == ostrides
+                    and chunk.size
+                ):
+                    # Not an executor slice of the planned order.
+                    seg, nbrs, ws = cache.gather(chunk)
+                    if seg.size == 0:
+                        return None
+                    decision = decide(chunk, seg, nbrs, ws)
+                    if decision is None:
+                        return None
+                    pos, src, dst, vol = decision
+                    return chunk[pos], src, dst, vol
+                lo = inv[chunk[0]]
+                hi = lo + chunk.size
+                sl = slice(bounds[lo], bounds[hi])
+                cur = labels_ord[lo:hi]
+                if spec is not None:
+                    # Every decision input lives in the chunk's or its
+                    # neighbors' sweep-start communities (a moved
+                    # neighbor's source community is its sweep-start
+                    # label, so label drift is caught too). All clean ->
+                    # the kernel would read bit-identical inputs to the
+                    # speculation pass. Until the sweep's first commit
+                    # (``spec_dirty``) nothing can be dirty, so the
+                    # per-block array checks are skipped outright — in a
+                    # fully quiet sweep every block takes this scalar
+                    # shortcut.
+                    if not state["spec_dirty"] or (
+                        not comm_dirty[s_nbr_labs[sl]].any()
+                        and not comm_dirty[cur].any()
+                    ):
+                        mm = s_move[lo:hi]
+                        if not mm.any():
+                            return None
+                        return (
+                            chunk[mm],
+                            cur[mm],
+                            s_lab[lo:hi][mm],
+                            s_vol[lo:hi][mm],
+                        )
+                nbrs = nbrs_all[sl]
+                if nbrs.size == 0:
+                    return None
+                if keys_base is not None:
+                    decision = decide(
+                        chunk,
+                        None,
+                        nbrs,
+                        ws_all[sl],
+                        cur=cur,
+                        vol_u=vol_ord[lo:hi],
+                        keys=keys_base[sl],
+                        base=int(lo),
+                    )
+                else:  # int64 overflow fallback: local segments
+                    seg, nbrs, ws = plan.block_at(int(lo), chunk.size)
+                    decision = decide(
+                        chunk, seg, nbrs, ws, cur=cur, vol_u=vol_ord[lo:hi]
+                    )
+                if decision is None:
+                    return None
+                pos, src, dst, vol = decision
+                return chunk[pos], src, dst, vol
+
+            return kernel
 
         def commit(update) -> None:
             if update is None:
@@ -166,12 +399,30 @@ class PLM(CommunityDetector):
             nodes, src, dst, vol_u = update
             # A node's label is written only by its own kernel, so src is
             # still current; volumes transfer under the simulated lock.
-            labels[nodes] = dst
-            np.subtract.at(comm_vol, src, vol_u)
-            np.add.at(comm_vol, dst, vol_u)
-            np.subtract.at(comm_size, src, 1)
-            np.add.at(comm_size, dst, 1)
+            if nodes.size == 1:
+                # Scalar path: IEEE-identical to the single-element
+                # ufunc.at calls below at a fraction of the dispatch cost
+                # (quiet sweeps commit one move at a time).
+                s = int(src[0])
+                d = int(dst[0])
+                v = vol_u[0]
+                labels[int(nodes[0])] = d
+                comm_vol[s] -= v
+                comm_vol[d] += v
+                comm_size[s] -= 1
+                comm_size[d] += 1
+            else:
+                labels[nodes] = dst
+                np.subtract.at(comm_vol, src, vol_u)
+                np.add.at(comm_vol, dst, vol_u)
+                np.subtract.at(comm_size, src, 1)
+                np.add.at(comm_size, dst, 1)
             state["moves"] += int(nodes.size)
+            if state["spec"] is not None:
+                comm_dirty[src] = True
+                comm_dirty[dst] = True
+                state["spec_dirty"] = True
+            moved_batches.append(nodes)
 
         sweeps = 0
         changed_any = False
@@ -185,25 +436,79 @@ class PLM(CommunityDetector):
         # labelling seen and revert to it if sweeps stop improving
         # modularity (real codes escape these cycles through scheduling
         # nondeterminism; our deterministic simulation needs the guard).
-        best_mod = modularity(graph, labels, gamma=self.gamma)
+        # Modularity is tracked incrementally: the O(m) intra-community
+        # weight is computed once here, then updated per sweep from the
+        # moved nodes' neighborhoods only.
+        us, vs, ws_e = graph.edge_array()
+        intra = float(ws_e[labels[us] == labels[vs]].sum())
+
+        def incremental_modularity() -> float:
+            return intra / omega - gamma * float(
+                np.dot(comm_vol, comm_vol)
+            ) / (4.0 * omega * omega)
+
+        best_mod = incremental_modularity()
         best_labels = labels.copy()
+        start_labels = np.empty_like(labels)
+        # Reused per-sweep buffers (satellite: cut allocation churn).
+        order = np.empty_like(nodes_all)
+        base_costs = degrees.astype(np.float64) + 3.0
+        costs = np.empty(nodes_all.size, dtype=np.float64)
         bad_sweeps = 0
+        prev_moves = order.size  # first sweep is always evaluated live
         with runtime.section(section):
             while sweeps < self.max_sweeps:
                 state["moves"] = 0
+                moved_batches.clear()
+                np.copyto(start_labels, labels)
                 # Fresh node order per sweep. The C++ code gets this "for
                 # free" from nondeterministic thread scheduling; our
                 # simulated schedule is deterministic, so an explicit
                 # permutation stands in for it (it also breaks residual
                 # same-block move cycles). The shuffle itself is charged
-                # as a parallel pass.
-                order = rng.permutation(nodes_all)
+                # as a parallel pass. (copyto + in-place shuffle draws the
+                # same stream as rng.permutation without the fresh copy.)
+                np.copyto(order, nodes_all)
+                rng.shuffle(order)
+                np.take(base_costs, order, out=costs)
+                plan = cache.plan(order)
+                labels_ord = labels[order]
+                vol_ord = volumes[order]
+                keys_base = plan.seg * width if fused_ok else None
+                if prev_moves * 1024 < order.size and plan.seg.size:
+                    # Quiet sweep expected: speculate every block's
+                    # decision from the sweep-start state in one pass
+                    # (same ``decide`` the per-block kernel runs, so the
+                    # float operation tree is identical by construction).
+                    decision = decide(
+                        order,
+                        plan.seg,
+                        plan.nbrs,
+                        plan.ws,
+                        cur=labels_ord,
+                        vol_u=vol_ord,
+                        keys=keys_base,
+                    )
+                    s_move = np.zeros(order.size, dtype=bool)
+                    s_lab = np.zeros(order.size, dtype=np.int64)
+                    s_vol = np.zeros(order.size, dtype=np.float64)
+                    if decision is not None:
+                        pos, _, dst, vol = decision
+                        s_move[pos] = True
+                        s_lab[pos] = dst
+                        s_vol[pos] = vol
+                    comm_dirty[:] = False
+                    state["spec_dirty"] = False
+                    spec = (s_move, s_lab, s_vol, labels[plan.nbrs])
+                else:
+                    spec = None
+                state["spec"] = spec
                 runtime.charge(nodes_all.size * 0.5, parallel=True)
                 runtime.parallel_for(
                     order,
-                    kernel,
+                    make_kernel(plan, labels_ord, vol_ord, keys_base, spec),
                     commit,
-                    costs=degrees[order] + 3.0,
+                    costs=costs,
                     schedule=self.schedule,
                     grain=grain,
                     # Gain computation is arithmetic-heavier than a label
@@ -213,18 +518,50 @@ class PLM(CommunityDetector):
                     loop=f"{self.name.lower()}.{section}",
                 )
                 sweeps += 1
-                if state["moves"] == 0:
+                prev_moves = state["moves"]
+                if prev_moves == 0:
                     break
                 changed_any = True
-                current_mod = modularity(graph, labels, gamma=self.gamma)
+                # Incremental intra update: each non-loop edge incident to
+                # a moved node appears once in the gather if one endpoint
+                # moved, twice (factor 0.5 each) if both did; self-loops
+                # never change intra status. A node moves at most once per
+                # sweep, so "neighbor moved" is exactly a label difference
+                # against the sweep-start snapshot.
+                moved = np.concatenate(moved_batches)
+                seg_m, nbrs_m, ws_m = cache.gather(moved)
+                if seg_m.size:
+                    la_u = labels[moved][seg_m]
+                    lb_u = start_labels[moved][seg_m]
+                    la_v = labels[nbrs_m]
+                    lb_v = start_labels[nbrs_m]
+                    factor = np.where(la_v != lb_v, 0.5, 1.0)
+                    intra += float(
+                        np.sum(
+                            ws_m
+                            * factor
+                            * (
+                                (la_u == la_v).astype(np.float64)
+                                - (lb_u == lb_v)
+                            )
+                        )
+                    )
+                current_mod = incremental_modularity()
+                if self.audit_modularity:
+                    self.modularity_audit.append(
+                        abs(
+                            current_mod
+                            - modularity(graph, labels, gamma=self.gamma)
+                        )
+                    )
                 if current_mod > best_mod + 1e-12:
                     best_mod = current_mod
-                    best_labels = labels.copy()
+                    np.copyto(best_labels, labels)
                     bad_sweeps = 0
                 else:
                     bad_sweeps += 1
                     if bad_sweeps >= 2:
-                        labels[:] = best_labels
+                        np.copyto(labels, best_labels)
                         break
         return changed_any, sweeps
 

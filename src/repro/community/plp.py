@@ -25,7 +25,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.community._kernels import gather_neighborhoods, group_label_weights
+from repro.community._kernels import (
+    gather_neighborhoods,
+    group_from_gather,
+    neighborhood_cache,
+)
 from repro.community.base import CommunityDetector
 from repro.graph.csr import Graph
 from repro.parallel.runtime import ParallelRuntime
@@ -159,9 +163,13 @@ class PLP(CommunityDetector):
         n = graph.n
         degrees = graph.degrees()
         theta = n * self.theta_factor
+        cache = neighborhood_cache(graph)
         iterations: list[dict[str, int]] = []
-        # Mutable cells captured by the commit closure.
-        state = {"updated": 0, "iteration": 0}
+        # Mutable cells captured by the kernel/commit closures. ``plan``
+        # holds the current iteration's pre-gathered neighborhoods
+        # (SweepPlan): grain blocks slice flat arrays instead of
+        # rebuilding repeat/cumsum index arithmetic per chunk.
+        state: dict[str, Any] = {"updated": 0, "iteration": 0, "plan": None}
         base_salt = np.uint64(rng.integers(1, 2**63))
 
         def jitter(node_ids: np.ndarray, labs: np.ndarray) -> np.ndarray:
@@ -172,7 +180,10 @@ class PLP(CommunityDetector):
             return _hash_jitter(node_ids, labs, salt)
 
         def kernel(chunk: np.ndarray):
-            groups = group_label_weights(graph, chunk, labels)
+            seg, nbrs, ws = state["plan"].block(chunk)
+            # Labels are always node ids (< n), so the label-range scan
+            # inside the group-by can be skipped.
+            groups = group_from_gather(seg, labels[nbrs], ws, width=n)
             cur = labels[chunk]
             cur_w = groups.weight_to_label(chunk.size, cur)
             if groups.gseg.size:
@@ -218,6 +229,7 @@ class PLP(CommunityDetector):
                 # simulated schedule is deterministic, so a free permutation
                 # stands in for it (it models, not adds, machine behaviour).
                 items = rng.permutation(items)
+                state["plan"] = cache.plan(items)
                 if self.randomize_order:
                     # *Explicit* randomization as in the original algorithm
                     # costs a real parallel shuffle pass (paper §III-A b).

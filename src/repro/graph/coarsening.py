@@ -25,6 +25,11 @@ from repro.graph.csr import Graph
 
 __all__ = ["CoarseningResult", "coarsen", "prolong"]
 
+#: Flat-key aggregation needs ``lo * k + hi < 2**63``; beyond this many
+#: coarse nodes the pairing falls back to a two-key lexsort. Module-level
+#: so tests can shrink it to exercise the fallback.
+_FUSED_KEY_MAX = np.iinfo(np.int64).max
+
 
 @dataclass(frozen=True)
 class CoarseningResult:
@@ -89,18 +94,36 @@ def coarsen(graph: Graph, communities: np.ndarray, name: str = "") -> Coarsening
         coarse = Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
         return CoarseningResult(coarse, mapping, graph.n)
 
-    key = lo * k + hi
-    order = np.argsort(key, kind="stable")
-    key_sorted = key[order]
+    if k <= _FUSED_KEY_MAX // max(k, 1):
+        # Fused int64 pair key: one stable argsort groups (lo, hi).
+        key = lo * np.int64(k) + hi
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        boundary = np.empty(key_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        agg_key = key_sorted[starts]
+        e_lo = agg_key // k
+        e_hi = agg_key % k
+    else:
+        # k * k would overflow int64 (silently, producing garbage keys):
+        # group on the explicit pair instead.
+        order = np.lexsort((hi, lo))
+        lo_sorted = lo[order]
+        hi_sorted = hi[order]
+        boundary = np.empty(lo_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            lo_sorted[1:] != lo_sorted[:-1],
+            hi_sorted[1:] != hi_sorted[:-1],
+            out=boundary[1:],
+        )
+        starts = np.flatnonzero(boundary)
+        e_lo = lo_sorted[starts]
+        e_hi = hi_sorted[starts]
     w_sorted = ws[order]
-    boundary = np.empty(key_sorted.size, dtype=bool)
-    boundary[0] = True
-    np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
-    starts = np.flatnonzero(boundary)
     agg_w = np.add.reduceat(w_sorted, starts)
-    agg_key = key_sorted[starts]
-    e_lo = agg_key // k
-    e_hi = agg_key % k
 
     loop = e_lo == e_hi
     src = np.concatenate([e_lo, e_hi[~loop]])

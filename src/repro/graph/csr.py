@@ -57,6 +57,10 @@ class Graph:
         "_volumes",
         "_total_edge_weight",
         "_loop_weights",
+        "_node_of_entry",
+        "_m",
+        "_edge_cache",
+        "_nbr_cache",
     )
 
     def __init__(
@@ -89,14 +93,25 @@ class Graph:
         self.weights = weights
         self.name = name
 
-        # Cached per-node loop weight (needed by volumes and modularity).
+        # Derived arrays are computed exactly once here. ``node_of_entry``
+        # (the owner of each adjacency entry) used to be rebuilt on every
+        # ``m`` / ``edge_array`` access — an O(m) repeat per call on the
+        # hottest property in the codebase.
         node_of_entry = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        node_of_entry.setflags(write=False)
+        self._node_of_entry = node_of_entry
         loop_mask = indices == node_of_entry
+        loops = int(np.count_nonzero(loop_mask))
+        self._m = (indices.size - loops) // 2 + loops
         loop_weights = np.zeros(n, dtype=np.float64)
-        if loop_mask.any():
+        if loops:
             np.add.at(loop_weights, indices[loop_mask], weights[loop_mask])
         loop_weights.setflags(write=False)
         self._loop_weights = loop_weights
+        # Lazy caches: the u <= v edge-list view (modularity, coarsening,
+        # exports) and the loop-free adjacency used by the chunk kernels.
+        self._edge_cache = None
+        self._nbr_cache = None
 
         # vol(v): incident weight with self-loops counted twice. reduceat
         # needs strictly in-range starts, so reduce only non-empty segments.
@@ -124,9 +139,7 @@ class Graph:
     @property
     def m(self) -> int:
         """Number of undirected edges (self-loops count once)."""
-        node_of_entry = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
-        loops = int(np.count_nonzero(self.indices == node_of_entry))
-        return (self.indices.size - loops) // 2 + loops
+        return self._m
 
     @property
     def total_edge_weight(self) -> float:
@@ -156,6 +169,10 @@ class Graph:
 
     def loop_weights(self) -> np.ndarray:
         return self._loop_weights
+
+    def node_of_entry(self) -> np.ndarray:
+        """Owner node of each adjacency entry (cached, read-only)."""
+        return self._node_of_entry
 
     def neighbors(self, v: int) -> np.ndarray:
         """Read-only view of ``v``'s neighbor ids."""
@@ -189,10 +206,21 @@ class Graph:
                     yield u, v, float(self.weights[k])
 
     def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Vectorized edge list ``(us, vs, ws)`` with each edge once, u <= v."""
-        node_of_entry = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
-        keep = node_of_entry <= self.indices
-        return node_of_entry[keep], self.indices[keep], self.weights[keep]
+        """Vectorized edge list ``(us, vs, ws)`` with each edge once, u <= v.
+
+        Computed once per graph (the mask + compaction is O(m)); callers in
+        the modularity / coarsening hot paths hit the cache. The arrays are
+        read-only like the rest of the CSR storage.
+        """
+        if self._edge_cache is None:
+            keep = self._node_of_entry <= self.indices
+            us = self._node_of_entry[keep]
+            vs = self.indices[keep]
+            ws = self.weights[keep]
+            for arr in (us, vs, ws):
+                arr.setflags(write=False)
+            self._edge_cache = (us, vs, ws)
+        return self._edge_cache
 
     # ------------------------------------------------------------------
     # Dunder / misc

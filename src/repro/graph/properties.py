@@ -60,7 +60,7 @@ def connected_components(graph: Graph) -> tuple[int, np.ndarray]:
     if n == 0:
         return 0, np.empty(0, dtype=np.int64)
     labels = np.arange(n, dtype=np.int64)
-    node_of_entry = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    node_of_entry = graph.node_of_entry()
     nbr = graph.indices
     while True:
         # Each node adopts the min label in its closed neighborhood.

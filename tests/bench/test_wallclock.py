@@ -1,0 +1,87 @@
+"""Schema / merge logic of the wall-clock microbenchmark layer."""
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import (
+    SCHEMA,
+    build_document,
+    main,
+    merge_baseline,
+    validate_document,
+    write_document,
+)
+
+
+def entry(name="gather_full", graph="g", size="1k", wall=0.5, **extra):
+    out = {
+        "name": name,
+        "graph": graph,
+        "size": size,
+        "n": 10,
+        "m": 20,
+        "repeats": 3,
+        "wall_s": wall,
+    }
+    out.update(extra)
+    return out
+
+
+def test_valid_document_passes():
+    doc = build_document("kernels", "smoke", [entry()])
+    assert validate_document(doc) == []
+
+
+def test_schema_and_kind_checked():
+    doc = build_document("kernels", "smoke", [entry()])
+    doc["schema"] = "bogus/v0"
+    doc["kind"] = "macro"
+    problems = validate_document(doc)
+    assert any(SCHEMA in p for p in problems)
+    assert any("kind" in p for p in problems)
+
+
+def test_missing_entry_keys_reported():
+    bad = entry()
+    del bad["wall_s"]
+    problems = validate_document(build_document("e2e", "smoke", [bad]))
+    assert any("wall_s" in p for p in problems)
+
+
+def test_empty_benchmarks_invalid():
+    doc = build_document("kernels", "smoke", [])
+    assert validate_document(doc)
+
+
+def test_negative_wall_invalid():
+    doc = build_document("kernels", "smoke", [entry(wall=-1.0)])
+    assert any("non-negative" in p for p in validate_document(doc))
+
+
+def test_merge_baseline_adds_speedup():
+    before = build_document("kernels", "full", [entry(wall=1.0)])
+    after = build_document("kernels", "full", [entry(wall=0.25)])
+    merged = merge_baseline(after, before)
+    e = merged["benchmarks"][0]
+    assert e["before_s"] == 1.0
+    assert e["after_s"] == 0.25
+    assert e["speedup"] == pytest.approx(4.0)
+
+
+def test_merge_baseline_skips_unmatched():
+    before = build_document("kernels", "full", [entry(name="coarsen")])
+    after = build_document("kernels", "full", [entry(name="gather_full")])
+    merged = merge_baseline(after, before)
+    assert "speedup" not in merged["benchmarks"][0]
+
+
+def test_cli_validate_roundtrip(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    write_document(build_document("kernels", "smoke", [entry()]), str(good))
+    assert main(["validate", str(good)]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}))
+    assert main(["validate", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "ok" in out and "INVALID" in out

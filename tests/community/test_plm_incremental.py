@@ -1,0 +1,58 @@
+"""Invariant: PLM's incremental modularity equals the full recomputation.
+
+The move phase tracks modularity across sweeps from the moved nodes'
+neighborhoods only (O(moved degree) per sweep instead of O(m)). The
+``audit_modularity`` hook recomputes the full objective after every sweep
+and records the absolute difference — it must stay at float-noise level on
+every graph, including weighted ones with self-loops, across PLM, PLMR
+and every coarsening level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.community import PLM, PLMR
+from repro.graph import GraphBuilder, generators
+from repro.partition.quality import modularity
+
+
+def loopy_weighted_graph(seed: int):
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(80)
+    for _ in range(300):
+        u = int(rng.integers(0, 80))
+        v = u if rng.random() < 0.08 else int(rng.integers(0, 80))
+        b.add_edge(u, v, float(rng.uniform(0.1, 4.0)))
+    return b.build()
+
+
+GRAPHS = [
+    generators.planted_partition(120, 4, 0.3, 0.02, seed=1)[0],
+    generators.erdos_renyi(90, 0.08, seed=2),
+    loopy_weighted_graph(3),
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=["planted", "gnp", "loopy"])
+@pytest.mark.parametrize("cls", [PLM, PLMR])
+def test_incremental_matches_full_modularity(cls, graph):
+    detector = cls(threads=4, seed=7, audit_modularity=True)
+    detector.run(graph)
+    assert detector.modularity_audit, "no sweeps were audited"
+    assert max(detector.modularity_audit) < 1e-9
+
+
+def test_audit_does_not_change_result():
+    graph = GRAPHS[0]
+    plain = PLM(threads=4, seed=7).run(graph)
+    audited = PLM(threads=4, seed=7, audit_modularity=True).run(graph)
+    assert np.array_equal(plain.partition.labels, audited.partition.labels)
+    assert plain.timing.total == audited.timing.total
+
+
+def test_move_phase_result_quality_unchanged():
+    # The optimized move phase must still find the planted structure.
+    graph, truth = generators.planted_partition(100, 5, 0.4, 0.01, seed=5)
+    result = PLM(threads=4, seed=0).run(graph)
+    assert modularity(graph, result.partition) > 0.5
+    assert result.partition.k <= 12

@@ -1,0 +1,50 @@
+"""Cached CSR derivations: computed once, reused, still correct."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edges
+
+
+@pytest.fixture
+def graph():
+    return from_edges(
+        4, [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 0.5), (2, 2, 3.0), (3, 3, 1.0)]
+    )
+
+
+def test_m_counts_loops_once(graph):
+    assert graph.m == 5
+
+
+def test_node_of_entry_cached_and_correct(graph):
+    noe = graph.node_of_entry()
+    assert noe is graph.node_of_entry()  # same array, not recomputed
+    expected = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr)
+    )
+    assert np.array_equal(noe, expected)
+    assert not noe.flags.writeable
+
+
+def test_edge_array_cached_and_readonly(graph):
+    first = graph.edge_array()
+    assert graph.edge_array() is first  # memoized tuple
+    us, vs, ws = first
+    assert np.all(us <= vs)
+    assert float(ws.sum()) == pytest.approx(7.5)
+    for arr in first:
+        assert not arr.flags.writeable
+
+
+def test_edge_array_round_trips_total_weight(graph):
+    _, _, ws = graph.edge_array()
+    assert float(ws.sum()) == pytest.approx(graph.total_edge_weight)
+
+
+def test_empty_graph_caches():
+    g = GraphBuilder(0).build()
+    assert g.m == 0
+    assert g.node_of_entry().size == 0
+    us, vs, ws = g.edge_array()
+    assert us.size == vs.size == ws.size == 0
