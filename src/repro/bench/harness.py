@@ -15,12 +15,37 @@ import numpy as np
 
 from repro.community.base import CommunityDetector
 from repro.graph.csr import Graph
+from repro.parallel.backend import materialize, resolve_backend
 from repro.partition.quality import modularity
 
 __all__ = ["ExperimentRow", "run_matrix", "aggregate_rows", "relative_to_baseline"]
 
 AlgorithmFactory = Callable[[int], CommunityDetector]
 """Builds a fresh detector from a run seed."""
+
+
+def _run_cell(graph, factory: AlgorithmFactory, seed: int) -> dict:
+    """One (algorithm, graph, repeat) cell — the harness's unit of work.
+
+    Shared by the serial path and the process-pool path (where ``graph``
+    arrives as a zero-copy shared-memory handle): the returned numbers are
+    a pure function of ``(graph, factory, seed)`` except ``wall``, which
+    measures the host seconds of this particular execution.
+    """
+    graph = materialize(graph)
+    detector = factory(seed)
+    t0 = time.perf_counter()
+    result = detector.run(graph)
+    wall = time.perf_counter() - t0
+    return {
+        "wall": wall,
+        "modularity": modularity(graph, result.partition),
+        "time": result.timing.total,
+        "k": result.partition.k,
+        "imbalance": result.timing.loop_imbalance,
+        "overhead_share": result.timing.overhead_share,
+        "loops": result.timing.loops,
+    }
 
 
 @dataclass(frozen=True)
@@ -59,25 +84,53 @@ def run_matrix(
     graphs: Iterable[Graph],
     runs: int = 3,
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[ExperimentRow]:
-    """Run every algorithm on every graph, averaging over ``runs`` seeds."""
+    """Run every algorithm on every graph, averaging over ``runs`` seeds.
+
+    ``workers`` fans the independent (algorithm, graph, repeat) cells out
+    to a shared-memory process pool (``None`` defers to ``REPRO_WORKERS``,
+    ``<= 1`` stays serial). Each graph ships to the workers once,
+    zero-copy; results are reassembled in submission order, and every
+    averaged column except ``wall_time`` (host seconds, by nature
+    nondeterministic) is identical for every worker count. Cells whose
+    factory cannot be pickled (lambdas) transparently run inline.
+    """
+    graph_list = list(graphs)
+    cells = [
+        (graph, name, factory, seed + r)
+        for graph in graph_list
+        for name, factory in algorithms.items()
+        for r in range(runs)
+    ]
+    backend = resolve_backend(workers)
+    if backend.workers > 1:
+        tasks = [
+            (backend.share_graph(graph), factory, s)
+            for graph, _, factory, s in cells
+        ]
+        outcomes = backend.map(_run_cell, tasks)
+    else:
+        outcomes = [
+            _run_cell(graph, factory, s) for graph, _, factory, s in cells
+        ]
+
     rows: list[ExperimentRow] = []
-    for graph in graphs:
+    by_cell = iter(outcomes)
+    for graph in graph_list:
         for name, factory in algorithms.items():
             mods, times, ks, imbalances, overheads = [], [], [], [], []
             walls: list[float] = []
             loop_acc: dict[str, dict[str, list[float]]] = {}
             for r in range(runs):
-                detector = factory(seed + r)
-                t0 = time.perf_counter()
-                result = detector.run(graph)
-                walls.append(time.perf_counter() - t0)
-                mods.append(modularity(graph, result.partition))
-                times.append(result.timing.total)
-                ks.append(result.partition.k)
-                imbalances.append(result.timing.loop_imbalance)
-                overheads.append(result.timing.overhead_share)
-                for label, tel in result.timing.loops.items():
+                out = next(by_cell)
+                walls.append(out["wall"])
+                mods.append(out["modularity"])
+                times.append(out["time"])
+                ks.append(out["k"])
+                imbalances.append(out["imbalance"])
+                overheads.append(out["overhead_share"])
+                for label, tel in out["loops"].items():
                     acc = loop_acc.setdefault(
                         label,
                         {

@@ -19,10 +19,18 @@ baseline, in which case every entry carries ``before_s`` / ``after_s`` /
 ``speedup`` — the perf trajectory all future optimization PRs are
 measured against.
 
+Both suites take ``--workers N`` (or ``REPRO_WORKERS``): the kernel suite
+fans its independent cells out to the shared-memory process pool of
+:mod:`repro.parallel.backend`; the e2e suite keeps its timed cells
+sequential (fair walls) but drives EPP's internal ensemble backend and
+emits the interleaved serial-vs-process ``epp_workers_ab`` comparison.
+The resolved backend kind, worker count, and host ``cpu_count`` are
+recorded in every document's ``host`` block.
+
 Run locally::
 
     PYTHONPATH=src python -m repro.bench.wallclock kernels --out BENCH_kernels.json
-    PYTHONPATH=src python -m repro.bench.wallclock e2e --out BENCH_e2e.json
+    PYTHONPATH=src python -m repro.bench.wallclock e2e --workers 4 --out BENCH_e2e.json
     PYTHONPATH=src python -m repro.bench.wallclock validate BENCH_kernels.json
 """
 
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -37,11 +46,12 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.community import PLM, PLMR, PLP
+from repro.community import EPP, PLM, PLMR, PLP
 from repro.community._kernels import gather_neighborhoods, group_label_weights
 from repro.graph.coarsening import coarsen
 from repro.graph.csr import Graph
 from repro.graph.generators import planted_partition, rmat
+from repro.parallel.backend import materialize, resolve_backend
 from repro.parallel.runtime import ParallelRuntime
 
 __all__ = [
@@ -119,8 +129,85 @@ def _entry(
 # ----------------------------------------------------------------------
 # Kernel suite
 # ----------------------------------------------------------------------
+#: Kernel cell names, in emission order per graph.
+KERNEL_NAMES = (
+    "gather_full",
+    "gather_chunked",
+    "group_full",
+    "group_chunked",
+    "argmax_per_segment",
+    "weight_to_label",
+    "coarsen",
+    "move_sweep",
+)
+
+
+def _kernel_cell(
+    graph, size: str, name: str, repeats: int, chunk: int
+) -> dict[str, Any]:
+    """Time one (kernel, graph) cell; the fan-out unit of the suite.
+
+    Module-level (not a closure) so the process backend can ship it to a
+    worker; the setup (rng seed 7, labels, permutation) is rebuilt
+    identically per cell, so which process runs it cannot change what is
+    measured.
+    """
+    graph = materialize(graph)
+    rng = np.random.default_rng(7)
+    nodes = np.arange(graph.n, dtype=np.int64)
+    order = rng.permutation(nodes)
+    labels = rng.integers(0, max(2, graph.n // 10), size=graph.n)
+    groups = group_label_weights(graph, nodes, labels)
+    blocks = [order[lo : lo + chunk] for lo in range(0, graph.n, chunk)]
+
+    def bench_gather_full():
+        return gather_neighborhoods(graph, nodes)
+
+    def bench_gather_chunked():
+        for b in blocks:
+            gather_neighborhoods(graph, b)
+
+    def bench_group_full():
+        return group_label_weights(graph, nodes, labels)
+
+    def bench_group_chunked():
+        for b in blocks:
+            group_label_weights(graph, b, labels)
+
+    def bench_argmax():
+        return groups.argmax_per_segment(graph.n)
+
+    def bench_weight_to_label():
+        return groups.weight_to_label(graph.n, labels)
+
+    def bench_coarsen():
+        return coarsen(graph, labels)
+
+    def bench_move_sweep():
+        plm = PLM(threads=1, seed=3)
+        lab = np.arange(graph.n, dtype=np.int64)
+        runtime = ParallelRuntime(threads=1)
+        plm._move_phase(graph, lab, runtime, "bench")
+
+    fns: dict[str, Callable[[], Any]] = {
+        "gather_full": bench_gather_full,
+        "gather_chunked": bench_gather_chunked,
+        "group_full": bench_group_full,
+        "group_chunked": bench_group_chunked,
+        "argmax_per_segment": bench_argmax,
+        "weight_to_label": bench_weight_to_label,
+        "coarsen": bench_coarsen,
+        "move_sweep": bench_move_sweep,
+    }
+    reps = max(1, repeats // 2) if name == "move_sweep" else repeats
+    return _entry(name, graph, size, reps, _time_best(fns[name], reps))
+
+
 def run_kernel_suite(
-    preset: str = "full", repeats: int = 5, chunk: int = 32
+    preset: str = "full",
+    repeats: int = 5,
+    chunk: int = 32,
+    workers: int | None = None,
 ) -> list[dict[str, Any]]:
     """Time the shared kernels; returns one record per (kernel, graph).
 
@@ -128,84 +215,116 @@ def run_kernel_suite(
     ``*_chunked`` entries sweep the graph in ``chunk``-node blocks over a
     random permutation — the access pattern of the simulated executor's
     grain blocks, where per-call overhead dominates.
+
+    ``workers > 1`` fans the independent cells out to the shared-memory
+    process pool (each graph ships once, zero-copy); results come back in
+    submission order, so the document layout is backend-invariant. With
+    more concurrent cells than idle cores the per-cell walls inflate
+    under contention — use serial runs for release-over-release deltas.
     """
-    entries: list[dict[str, Any]] = []
-    for size, graph in _graphs(preset):
-        rng = np.random.default_rng(7)
-        nodes = np.arange(graph.n, dtype=np.int64)
-        order = rng.permutation(nodes)
-        labels = rng.integers(0, max(2, graph.n // 10), size=graph.n)
-        groups = group_label_weights(graph, nodes, labels)
-        blocks = [
-            order[lo : lo + chunk] for lo in range(0, graph.n, chunk)
-        ]
-
-        def bench_gather_full():
-            return gather_neighborhoods(graph, nodes)
-
-        def bench_gather_chunked():
-            for b in blocks:
-                gather_neighborhoods(graph, b)
-
-        def bench_group_full():
-            return group_label_weights(graph, nodes, labels)
-
-        def bench_group_chunked():
-            for b in blocks:
-                group_label_weights(graph, b, labels)
-
-        def bench_argmax():
-            return groups.argmax_per_segment(graph.n)
-
-        def bench_weight_to_label():
-            return groups.weight_to_label(graph.n, labels)
-
-        def bench_coarsen():
-            return coarsen(graph, labels)
-
-        def bench_move_sweep():
-            plm = PLM(threads=1, seed=3)
-            lab = np.arange(graph.n, dtype=np.int64)
-            runtime = ParallelRuntime(threads=1)
-            plm._move_phase(graph, lab, runtime, "bench")
-
-        move_repeats = max(1, repeats // 2)
-        for name, fn, reps in (
-            ("gather_full", bench_gather_full, repeats),
-            ("gather_chunked", bench_gather_chunked, repeats),
-            ("group_full", bench_group_full, repeats),
-            ("group_chunked", bench_group_chunked, repeats),
-            ("argmax_per_segment", bench_argmax, repeats),
-            ("weight_to_label", bench_weight_to_label, repeats),
-            ("coarsen", bench_coarsen, repeats),
-            ("move_sweep", bench_move_sweep, move_repeats),
-        ):
-            entries.append(_entry(name, graph, size, reps, _time_best(fn, reps)))
-    return entries
+    backend = resolve_backend(workers)
+    graphs = _graphs(preset)
+    tasks = [
+        (
+            backend.share_graph(graph) if backend.workers > 1 else graph,
+            size,
+            name,
+            repeats,
+            chunk,
+        )
+        for size, graph in graphs
+        for name in KERNEL_NAMES
+    ]
+    return backend.map(_kernel_cell, tasks)
 
 
 # ----------------------------------------------------------------------
 # End-to-end suite
 # ----------------------------------------------------------------------
-def run_e2e_suite(preset: str = "full", repeats: int = 2) -> list[dict[str, Any]]:
+def _e2e_detector(name: str, workers: int | None):
+    """Fresh detector for an e2e cell. Only EPP consumes host workers —
+    its base ensemble is the detector-internal parallel boundary."""
+    if name == "plp":
+        return PLP(threads=4, seed=1)
+    if name == "plm":
+        return PLM(threads=4, seed=1)
+    if name == "plmr":
+        return PLMR(threads=4, seed=1)
+    if name == "epp":
+        return EPP(threads=4, seed=1, ensemble_size=4, workers=workers)
+    raise ValueError(f"unknown e2e algorithm {name!r}")
+
+
+E2E_ALGORITHMS = ("plp", "plm", "plmr", "epp")
+
+
+def _epp_workers_ab(
+    graph: Graph, size: str, repeats: int, workers: int
+) -> dict[str, Any]:
+    """Fair interleaved A/B: EPP with the serial vs the process backend.
+
+    Both configurations run the *same* modeled machine and seeds — the
+    simulated outputs are asserted identical (``sim_identical``) — and the
+    measurements alternate serial/parallel within each round so drifting
+    host load biases neither side. ``wall_s`` is the parallel best;
+    ``serial_wall_s``/``workers_speedup`` carry the comparison.
+    """
+
+    def serial_run():
+        return EPP(threads=4, seed=1, ensemble_size=4, workers=1).run(graph)
+
+    def pooled_run():
+        return EPP(threads=4, seed=1, ensemble_size=4, workers=workers).run(graph)
+
+    sims = {serial_run().timing.total, pooled_run().timing.total}  # warmup
+    best_serial = best_pooled = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        sims.add(serial_run().timing.total)
+        best_serial = min(best_serial, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        sims.add(pooled_run().timing.total)
+        best_pooled = min(best_pooled, time.perf_counter() - t0)
+    return _entry(
+        "epp_workers_ab",
+        graph,
+        size,
+        max(1, repeats),
+        best_pooled,
+        sim_s=float(next(iter(sims))),
+        sim_identical=len(sims) == 1,
+        serial_wall_s=float(best_serial),
+        workers=int(workers),
+        workers_speedup=round(best_serial / best_pooled, 3)
+        if best_pooled > 0
+        else float("inf"),
+    )
+
+
+def run_e2e_suite(
+    preset: str = "full", repeats: int = 2, workers: int | None = None
+) -> list[dict[str, Any]]:
     """Wall-clock full detector runs; also records simulated seconds.
 
     The simulated time is carried along as a tripwire: a host-speed
     optimization must leave ``sim_s`` bit-identical, so a drift here means
     the cost model or the algorithm itself changed.
+
+    Cells are timed **sequentially** on purpose, even with ``workers``:
+    concurrently-timed cells would contend for cores and corrupt the wall
+    numbers. ``workers`` instead drives the detector-internal backend
+    (EPP's base ensemble) and, when ``> 1``, appends one
+    ``epp_workers_ab`` entry per graph — the fair interleaved serial-vs-
+    process comparison the multicore speedup claims are measured by.
     """
+    effective = resolve_backend(workers).workers
     entries: list[dict[str, Any]] = []
-    algorithms: list[tuple[str, Callable[[], Any]]] = [
-        ("plp", lambda: PLP(threads=4, seed=1)),
-        ("plm", lambda: PLM(threads=4, seed=1)),
-        ("plmr", lambda: PLMR(threads=4, seed=1)),
-    ]
     for size, graph in _graphs(preset):
-        for name, factory in algorithms:
+        for name in E2E_ALGORITHMS:
             sim: dict[str, float] = {}
 
             def bench():
-                result = factory().run(graph)
+                result = _e2e_detector(name, workers).run(graph)
                 sim["s"] = result.timing.total
 
             wall = _time_best(bench, repeats, warmup=1)
@@ -219,26 +338,44 @@ def run_e2e_suite(preset: str = "full", repeats: int = 2) -> list[dict[str, Any]
                     sim_s=float(sim["s"]),
                 )
             )
+        if effective > 1:
+            entries.append(_epp_workers_ab(graph, size, repeats, effective))
     return entries
 
 
 # ----------------------------------------------------------------------
 # Document assembly / validation
 # ----------------------------------------------------------------------
-def _host_info() -> dict[str, str]:
+def _host_info(workers: int | None = None) -> dict[str, Any]:
+    """Host metadata, including which execution backend produced the run.
+
+    ``backend``/``workers`` record the *resolved* configuration (serial
+    when ``workers <= 1`` or shared memory is unavailable), ``cpu_count``
+    the host cores available — the denominator any multicore speedup
+    claim must be read against.
+    """
+    backend = resolve_backend(workers)
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "backend": backend.kind,
+        "workers": int(backend.workers),
+        "cpu_count": int(os.cpu_count() or 1),
     }
 
 
-def build_document(kind: str, preset: str, entries: list[dict[str, Any]]) -> dict:
+def build_document(
+    kind: str,
+    preset: str,
+    entries: list[dict[str, Any]],
+    workers: int | None = None,
+) -> dict:
     return {
         "schema": SCHEMA,
         "kind": kind,
         "preset": preset,
-        "host": _host_info(),
+        "host": _host_info(workers),
         "benchmarks": entries,
     }
 
@@ -298,6 +435,11 @@ def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
         extra = ""
         if "speedup" in e:
             extra = f"  before={e['before_s']:.6f}s  speedup={e['speedup']:.2f}x"
+        if "workers_speedup" in e:
+            extra += (
+                f"  serial={e['serial_wall_s']:.6f}s  "
+                f"x{e['workers_speedup']:.2f} @{e['workers']} workers"
+            )
         lines.append(
             f"{e['name']:>20s}  {e['graph']:<24s} {e['size']:>5s}  "
             f"{e['wall_s']:.6f}s{extra}"
@@ -320,6 +462,14 @@ def main(argv: list[str] | None = None) -> int:
             default=None,
             help="previous run of the same suite; adds before/after numbers",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="host worker processes (shared-memory pool; default: "
+            "REPRO_WORKERS or 1 = serial). kernels: fans out cells; "
+            "e2e: drives EPP's internal backend + the epp_workers_ab entry",
+        )
     v = sub.add_parser("validate", help="validate BENCH_*.json schema")
     v.add_argument("files", nargs="+")
     args = parser.parse_args(argv)
@@ -340,10 +490,14 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if failed else 0
 
     if args.command == "kernels":
-        entries = run_kernel_suite(args.preset, repeats=args.repeats)
+        entries = run_kernel_suite(
+            args.preset, repeats=args.repeats, workers=args.workers
+        )
     else:
-        entries = run_e2e_suite(args.preset, repeats=args.repeats)
-    doc = build_document(args.command, args.preset, entries)
+        entries = run_e2e_suite(
+            args.preset, repeats=args.repeats, workers=args.workers
+        )
+    doc = build_document(args.command, args.preset, entries, workers=args.workers)
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as fh:
             doc = merge_baseline(doc, json.load(fh))

@@ -42,7 +42,10 @@ ALGORITHMS = {
     "plm": lambda args: PLM(threads=args.threads, gamma=args.gamma, seed=args.seed),
     "plmr": lambda args: PLMR(threads=args.threads, gamma=args.gamma, seed=args.seed),
     "epp": lambda args: EPP(
-        threads=args.threads, ensemble_size=args.ensemble_size, seed=args.seed
+        threads=args.threads,
+        ensemble_size=args.ensemble_size,
+        seed=args.seed,
+        workers=getattr(args, "workers", None),
     ),
     "louvain": lambda args: Louvain(gamma=args.gamma, seed=args.seed),
     "clu": lambda args: CLU(threads=args.threads, seed=args.seed),
@@ -65,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", "-a", choices=sorted(ALGORITHMS), default="plm"
     )
     detect.add_argument("--threads", "-t", type=int, default=32)
+    detect.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=None,
+        help="host worker processes for detector-internal parallelism "
+        "(EPP's base ensemble; default: REPRO_WORKERS or 1 = serial; "
+        "results are identical for every worker count)",
+    )
     detect.add_argument("--gamma", type=float, default=1.0)
     detect.add_argument("--ensemble-size", type=int, default=4)
     detect.add_argument("--seed", type=int, default=0)
@@ -82,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="run the algorithm portfolio")
     compare.add_argument("graph")
     compare.add_argument("--threads", "-t", type=int, default=32)
+    compare.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=None,
+        help="host worker processes (see `detect --workers`)",
+    )
     compare.add_argument("--runs", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--gamma", type=float, default=1.0)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.community.base import CommunityDetector
 from repro.graph.coarsening import coarsen, prolong
 from repro.graph.csr import Graph
+from repro.parallel.backend import materialize, resolve_backend
 from repro.parallel.runtime import ParallelRuntime
 from repro.partition.hashing import combine_hashing
 from repro.partition.quality import modularity
@@ -31,6 +32,39 @@ __all__ = ["EPP"]
 
 DetectorFactory = Callable[[int], CommunityDetector]
 """Builds a detector from an instance seed (for base-solution diversity)."""
+
+
+def _default_base_factory(seed: int) -> CommunityDetector:
+    """Default base: PLP on the instance seed (module-level: picklable)."""
+    from repro.community.plp import PLP
+
+    return PLP(seed=seed)
+
+
+def _default_final_factory(seed: int) -> CommunityDetector:
+    """Default final: PLM (module-level so pool workers can import it)."""
+    from repro.community.plm import PLM
+
+    return PLM(seed=seed)
+
+
+def _run_base_instance(
+    graph, factory: DetectorFactory, seed: int, sub: ParallelRuntime
+) -> tuple[np.ndarray, ParallelRuntime]:
+    """Run one base detector on its pre-split sub-runtime.
+
+    The single code path for both execution backends: inline (called
+    directly) and process-pool (shipped to a worker with the graph as a
+    zero-copy :class:`~repro.parallel.backend.SharedGraph`). The result is
+    a pure function of ``(graph, factory, seed, sub.threads)``, so where
+    it runs cannot change labels or simulated timing.
+    """
+    graph = materialize(graph)
+    detector = factory(seed)
+    # Give each base its sub-runtime's thread budget.
+    detector.threads = sub.threads
+    result = detector.run(graph, runtime=sub)
+    return result.partition.labels, sub
 
 
 class EPP(CommunityDetector):
@@ -54,6 +88,12 @@ class EPP(CommunityDetector):
         is reached (the EML-like iterated scheme, paper §III-D).
     seed:
         Base seed; instance ``i`` uses ``seed + i``.
+    workers:
+        Host worker processes for the base ensemble (the *real* cores the
+        bases run on — unrelated to the simulated thread budget). ``None``
+        defers to the ``REPRO_WORKERS`` environment variable; ``<= 1``
+        runs inline. Results are byte-identical for every worker count;
+        only host wall-clock changes.
     """
 
     name = "EPP"
@@ -66,6 +106,7 @@ class EPP(CommunityDetector):
         final_factory: DetectorFactory | None = None,
         iterations: int = 1,
         seed: int = 0,
+        workers: int | None = None,
     ) -> None:
         super().__init__(threads=threads)
         if ensemble_size < 1:
@@ -74,14 +115,11 @@ class EPP(CommunityDetector):
             raise ValueError("iterations must be >= 1")
         self.ensemble_size = ensemble_size
         self.seed = seed
+        self.workers = workers
         if base_factory is None:
-            from repro.community.plp import PLP
-
-            base_factory = lambda s: PLP(seed=s)  # noqa: E731
+            base_factory = _default_base_factory
         if final_factory is None:
-            from repro.community.plm import PLM
-
-            final_factory = lambda s: PLM(seed=s)  # noqa: E731
+            final_factory = _default_final_factory
         self.base_factory = base_factory
         self.final_factory = final_factory
         self.iterations = iterations
@@ -93,15 +131,30 @@ class EPP(CommunityDetector):
     def _ensemble_pass(
         self, graph: Graph, runtime: ParallelRuntime, round_id: int
     ) -> tuple[np.ndarray, list[np.ndarray]]:
-        """Run the base ensemble concurrently and combine core communities."""
+        """Run the base ensemble concurrently and combine core communities.
+
+        The ``b`` instances are seed-isolated and run on pre-split
+        sub-runtimes, so they are embarrassingly parallel on the host:
+        with ``workers > 1`` they are dispatched to the process pool (the
+        graph travels once, zero-copy, via shared memory) and the mutated
+        sub-runtimes come back for the same ``join_max`` merge the inline
+        path uses. Tracing pins execution inline — a worker's tracer copy
+        would swallow its block events.
+        """
         subs = runtime.split(self.ensemble_size, prefix="base")
-        base_solutions: list[np.ndarray] = []
-        for i, sub in enumerate(subs):
-            detector = self.base_factory(self.seed + round_id * 1000 + i)
-            # Give each base its sub-runtime's thread budget.
-            detector.threads = sub.threads
-            result = detector.run(graph, runtime=sub)
-            base_solutions.append(result.partition.labels)
+        tasks = [
+            (graph, self.base_factory, self.seed + round_id * 1000 + i, sub)
+            for i, sub in enumerate(subs)
+        ]
+        backend = resolve_backend(self.workers)
+        if backend.workers > 1 and runtime.tracer is None and len(tasks) > 1:
+            shared = backend.share_graph(graph)
+            tasks = [(shared,) + task[1:] for task in tasks]
+            outcomes = backend.map(_run_base_instance, tasks)
+        else:
+            outcomes = [_run_base_instance(*task) for task in tasks]
+        base_solutions = [labels for labels, _ in outcomes]
+        subs = [sub for _, sub in outcomes]
         # Merges the bases' section breakdowns under "base/..." so the
         # ensemble phase no longer vanishes from the parent's attribution.
         runtime.join_max(subs, prefix="base")

@@ -1,0 +1,101 @@
+"""Shared grouping of canonical endpoint pairs (builder + coarsening).
+
+Both :func:`repro.graph.builder._assemble` and
+:func:`repro.graph.coarsening.coarsen` reduce a multiset of undirected
+edges to one weight per distinct ``(lo, hi)`` pair, then mirror the
+result into CSR entry arrays. The grouping strategy is identical in both:
+a fused int64 key ``lo * width + hi`` sorted with one stable argsort — or,
+when ``width * width`` would overflow int64 (silently, producing garbage
+keys), a two-key lexsort over the explicit pair. Both paths order groups
+identically (stable sorts over the same ordering), so the per-group float
+weight sums match bit-for-bit between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["group_pairs", "pairs_to_csr_entries", "FUSED_KEY_MAX"]
+
+#: Flat-key aggregation needs ``lo * width + hi < 2**63``; beyond this the
+#: pairing falls back to a two-key lexsort. Callers keep a module-level
+#: alias so tests can shrink it to exercise the fallback.
+FUSED_KEY_MAX = np.iinfo(np.int64).max
+
+
+def group_pairs(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    ws: np.ndarray,
+    width: int,
+    fused_key_max: int = FUSED_KEY_MAX,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum ``ws`` over each distinct ``(lo, hi)`` pair.
+
+    Parameters
+    ----------
+    lo, hi:
+        Canonicalized endpoints (``lo <= hi`` element-wise), int64.
+    ws:
+        Aligned float64 weights.
+    width:
+        Exclusive upper bound on the endpoint values (node / community
+        count) — the stride of the fused key.
+    fused_key_max:
+        Overflow threshold; ``width`` beyond ``fused_key_max // width``
+        selects the lexsort fallback.
+
+    Returns
+    -------
+    (e_lo, e_hi, agg_w):
+        One entry per distinct pair, ordered by ``(lo, hi)``.
+    """
+    if width <= fused_key_max // max(width, 1):
+        # Fused int64 pair key: one stable argsort groups (lo, hi).
+        key = lo * np.int64(width) + hi
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        boundary = np.empty(key_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        agg_key = key_sorted[starts]
+        e_lo = agg_key // width
+        e_hi = agg_key % width
+    else:
+        # width * width would overflow int64: group on the explicit pair.
+        order = np.lexsort((hi, lo))
+        lo_sorted = lo[order]
+        hi_sorted = hi[order]
+        boundary = np.empty(lo_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            lo_sorted[1:] != lo_sorted[:-1],
+            hi_sorted[1:] != hi_sorted[:-1],
+            out=boundary[1:],
+        )
+        starts = np.flatnonzero(boundary)
+        e_lo = lo_sorted[starts]
+        e_hi = hi_sorted[starts]
+    agg_w = np.add.reduceat(ws[order], starts)
+    return e_lo, e_hi, agg_w
+
+
+def pairs_to_csr_entries(
+    e_lo: np.ndarray, e_hi: np.ndarray, w: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mirror deduplicated undirected pairs into sorted CSR entry arrays.
+
+    Non-loops are stored in both directions, loops once; returns
+    ``(indptr, dst, w)`` ready for :class:`repro.graph.csr.Graph`.
+    """
+    loop = e_lo == e_hi
+    src = np.concatenate([e_lo, e_hi[~loop]])
+    dst = np.concatenate([e_hi, e_lo[~loop]])
+    weights = np.concatenate([w, w[~loop]])
+    order = np.lexsort((dst, src))
+    src, dst, weights = src[order], dst[order], weights[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst, weights

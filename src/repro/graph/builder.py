@@ -3,8 +3,10 @@
 The builder accumulates undirected weighted edges, then :meth:`GraphBuilder.build`
 symmetrizes, sorts, merges parallel edges (summing weights) and freezes the
 result into a :class:`repro.graph.csr.Graph`. Construction is fully
-vectorized — the per-edge Python cost is a single append to a list of
-primitives, and everything else is NumPy sort/reduce.
+vectorized — scalar adds cost one list append each, bulk adds store the
+validated NumPy chunk as-is, and everything is concatenated exactly once at
+build time (no array -> list -> array round trip on the bulk path the
+generators and coarsening hammer at every level).
 """
 
 from __future__ import annotations
@@ -13,9 +15,15 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.graph._group import FUSED_KEY_MAX, group_pairs, pairs_to_csr_entries
 from repro.graph.csr import Graph
 
 __all__ = ["GraphBuilder", "from_edges"]
+
+#: Endpoint fusing in :func:`_assemble` needs ``lo * n + hi < 2**63``; kept
+#: as a module attribute (like ``coarsening._FUSED_KEY_MAX``) so tests can
+#: shrink it to force the lexsort fallback.
+_FUSED_KEY_MAX = FUSED_KEY_MAX
 
 
 class GraphBuilder:
@@ -35,9 +43,15 @@ class GraphBuilder:
             raise ValueError("node count must be non-negative")
         self.n = int(n)
         self.merge_parallel = merge_parallel
+        # Scalar adds buffer into plain lists; bulk adds land as ready
+        # NumPy chunks. ``_chunks`` preserves overall insertion order (the
+        # scalar buffer is flushed into it before every bulk chunk), which
+        # float weight merging depends on for bit-stable sums.
         self._us: list[int] = []
         self._vs: list[int] = []
         self._ws: list[float] = []
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._chunk_len = 0
 
     def add_edge(self, u: int, v: int, w: float = 1.0) -> "GraphBuilder":
         """Add an undirected edge ``{u, v}`` with weight ``w``."""
@@ -57,14 +71,14 @@ class GraphBuilder:
         ws: Sequence[float] | np.ndarray | None = None,
     ) -> "GraphBuilder":
         """Bulk-add edges from aligned arrays (vectorized path)."""
-        us = np.asarray(us, dtype=np.int64)
-        vs = np.asarray(vs, dtype=np.int64)
+        us = np.array(us, dtype=np.int64, copy=True)
+        vs = np.array(vs, dtype=np.int64, copy=True)
         if us.shape != vs.shape:
             raise ValueError("us and vs must be aligned")
         if ws is None:
             ws = np.ones(us.size, dtype=np.float64)
         else:
-            ws = np.asarray(ws, dtype=np.float64)
+            ws = np.array(ws, dtype=np.float64, copy=True)
             if ws.shape != us.shape:
                 raise ValueError("ws must be aligned with us/vs")
         if us.size:
@@ -74,19 +88,40 @@ class GraphBuilder:
                 raise IndexError("edge endpoint out of range")
             if np.any(ws < 0):
                 raise ValueError("edge weights must be non-negative")
-        self._us.extend(us.tolist())
-        self._vs.extend(vs.tolist())
-        self._ws.extend(ws.tolist())
+            self._flush_scalars()
+            self._chunks.append((us, vs, ws))
+            self._chunk_len += us.size
         return self
 
+    def _flush_scalars(self) -> None:
+        """Move buffered scalar adds into the chunk list, preserving order."""
+        if self._us:
+            self._chunks.append(
+                (
+                    np.asarray(self._us, dtype=np.int64),
+                    np.asarray(self._vs, dtype=np.int64),
+                    np.asarray(self._ws, dtype=np.float64),
+                )
+            )
+            self._chunk_len += len(self._us)
+            self._us, self._vs, self._ws = [], [], []
+
     def __len__(self) -> int:
-        return len(self._us)
+        return self._chunk_len + len(self._us)
 
     def build(self, name: str = "") -> Graph:
         """Freeze the accumulated edges into an immutable CSR graph."""
-        us = np.asarray(self._us, dtype=np.int64)
-        vs = np.asarray(self._vs, dtype=np.int64)
-        ws = np.asarray(self._ws, dtype=np.float64)
+        self._flush_scalars()
+        if not self._chunks:
+            us = np.empty(0, dtype=np.int64)
+            vs = np.empty(0, dtype=np.int64)
+            ws = np.empty(0, dtype=np.float64)
+        elif len(self._chunks) == 1:
+            us, vs, ws = self._chunks[0]
+        else:
+            us = np.concatenate([c[0] for c in self._chunks])
+            vs = np.concatenate([c[1] for c in self._chunks])
+            ws = np.concatenate([c[2] for c in self._chunks])
         return _assemble(self.n, us, vs, ws, self.merge_parallel, name)
 
 
@@ -119,33 +154,13 @@ def _assemble(
         indptr = np.zeros(n + 1, dtype=np.int64)
         return Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
 
-    # Canonicalize endpoints so duplicate detection is orientation-free.
+    # Canonicalize endpoints so duplicate detection is orientation-free;
+    # group_pairs guards the fused ``lo * n + hi`` key against int64
+    # overflow (huge n falls back to a lexsort, same result bit-for-bit).
     lo = np.minimum(us, vs)
     hi = np.maximum(us, vs)
-    key = lo * n + hi
-    order = np.argsort(key, kind="stable")
-    key = key[order]
-    ws_sorted = ws[order]
-    boundary = np.empty(key.size, dtype=bool)
-    boundary[0] = True
-    np.not_equal(key[1:], key[:-1], out=boundary[1:])
-    if not merge_parallel and not boundary.all():
+    e_lo, e_hi, merged_w = group_pairs(lo, hi, ws, n, _FUSED_KEY_MAX)
+    if not merge_parallel and e_lo.size < lo.size:
         raise ValueError("duplicate edges with merge_parallel=False")
-    starts = np.flatnonzero(boundary)
-    merged_w = np.add.reduceat(ws_sorted, starts)
-    merged_key = key[starts]
-    e_lo = merged_key // n
-    e_hi = merged_key % n
-
-    # Directed entry list: both directions for non-loops, once for loops.
-    loop = e_lo == e_hi
-    src = np.concatenate([e_lo, e_hi[~loop]])
-    dst = np.concatenate([e_hi, e_lo[~loop]])
-    w = np.concatenate([merged_w, merged_w[~loop]])
-
-    order = np.lexsort((dst, src))
-    src, dst, w = src[order], dst[order], w[order]
-    counts = np.bincount(src, minlength=n)
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
+    indptr, dst, w = pairs_to_csr_entries(e_lo, e_hi, merged_w, n)
     return Graph(indptr, dst, w, name)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graph._group import FUSED_KEY_MAX, group_pairs, pairs_to_csr_entries
 from repro.graph.csr import Graph
 
 __all__ = ["CoarseningResult", "coarsen", "prolong"]
@@ -28,7 +29,7 @@ __all__ = ["CoarseningResult", "coarsen", "prolong"]
 #: Flat-key aggregation needs ``lo * k + hi < 2**63``; beyond this many
 #: coarse nodes the pairing falls back to a two-key lexsort. Module-level
 #: so tests can shrink it to exercise the fallback.
-_FUSED_KEY_MAX = np.iinfo(np.int64).max
+_FUSED_KEY_MAX = FUSED_KEY_MAX
 
 
 @dataclass(frozen=True)
@@ -94,46 +95,8 @@ def coarsen(graph: Graph, communities: np.ndarray, name: str = "") -> Coarsening
         coarse = Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
         return CoarseningResult(coarse, mapping, graph.n)
 
-    if k <= _FUSED_KEY_MAX // max(k, 1):
-        # Fused int64 pair key: one stable argsort groups (lo, hi).
-        key = lo * np.int64(k) + hi
-        order = np.argsort(key, kind="stable")
-        key_sorted = key[order]
-        boundary = np.empty(key_sorted.size, dtype=bool)
-        boundary[0] = True
-        np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
-        starts = np.flatnonzero(boundary)
-        agg_key = key_sorted[starts]
-        e_lo = agg_key // k
-        e_hi = agg_key % k
-    else:
-        # k * k would overflow int64 (silently, producing garbage keys):
-        # group on the explicit pair instead.
-        order = np.lexsort((hi, lo))
-        lo_sorted = lo[order]
-        hi_sorted = hi[order]
-        boundary = np.empty(lo_sorted.size, dtype=bool)
-        boundary[0] = True
-        np.logical_or(
-            lo_sorted[1:] != lo_sorted[:-1],
-            hi_sorted[1:] != hi_sorted[:-1],
-            out=boundary[1:],
-        )
-        starts = np.flatnonzero(boundary)
-        e_lo = lo_sorted[starts]
-        e_hi = hi_sorted[starts]
-    w_sorted = ws[order]
-    agg_w = np.add.reduceat(w_sorted, starts)
-
-    loop = e_lo == e_hi
-    src = np.concatenate([e_lo, e_hi[~loop]])
-    dst = np.concatenate([e_hi, e_lo[~loop]])
-    w = np.concatenate([agg_w, agg_w[~loop]])
-    entry_order = np.lexsort((dst, src))
-    src, dst, w = src[entry_order], dst[entry_order], w[entry_order]
-    counts = np.bincount(src, minlength=k)
-    indptr = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
+    e_lo, e_hi, agg_w = group_pairs(lo, hi, ws, k, _FUSED_KEY_MAX)
+    indptr, dst, w = pairs_to_csr_entries(e_lo, e_hi, agg_w, k)
     coarse = Graph(indptr, dst, w, name or f"{graph.name}/coarse")
     return CoarseningResult(coarse, mapping, graph.n)
 

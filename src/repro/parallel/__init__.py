@@ -20,6 +20,17 @@ See DESIGN.md §1 for why this substitution preserves the paper's scaling
 and staleness phenomenology.
 """
 
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedGraph,
+    default_workers,
+    materialize,
+    resolve_backend,
+    shared_memory_available,
+    shutdown_all,
+)
 from repro.parallel.machine import Machine, PAPER_MACHINE
 from repro.parallel.scheduling import (
     Chunk,
@@ -45,6 +56,15 @@ from repro.parallel.tracing import (
 )
 
 __all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SharedGraph",
+    "default_workers",
+    "materialize",
+    "resolve_backend",
+    "shared_memory_available",
+    "shutdown_all",
     "BlockEvent",
     "LoopRecord",
     "LoopTelemetry",

@@ -1,0 +1,463 @@
+"""Real multi-core execution backend: process pool over shared memory.
+
+Everything else in :mod:`repro.parallel` *simulates* the paper's machine —
+deterministic simulated seconds on a modeled 2x8-core Xeon. This module is
+the counterpart for the host: a thin execution layer that lets the
+embarrassingly-parallel boundaries of the reproduction (EPP's base-detector
+ensemble, the bench harness's (algorithm, graph, repeat) cells) actually
+use more than one host core, GIL-free, via a persistent
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design constraints, in order:
+
+1. **Byte-identical results.** The backend changes only host wall-clock,
+   never the modeled machine: a task is a pure function of its arguments
+   (seed-isolated detectors, immutable graphs, pre-split sub-runtimes), so
+   ``workers=1`` and ``workers=N`` produce identical labels, identical
+   simulated timings, and identical ``fig*``/``table*`` outputs.
+2. **Zero-copy graph shipping.** A :class:`Graph`'s CSR arrays are copied
+   into :mod:`multiprocessing.shared_memory` segments **once** per
+   (backend, graph); the :class:`SharedGraph` handle pickles as segment
+   names + dtypes/shapes (a few hundred bytes), and workers map the same
+   physical pages read-only. Worker-side materialization is cached per
+   process, so repeated tasks on the same graph attach exactly once.
+3. **No leaked segments.** Segment lifetime is refcounted on the owner
+   side (:meth:`SharedGraph.acquire` / :meth:`SharedGraph.release`), every
+   handle carries a ``weakref.finalize`` safety net, backends unlink all
+   their segments in :meth:`ExecutionBackend.shutdown`, and a module
+   ``atexit`` hook shuts down any pool the process still holds. Workers
+   attach without resource-tracker registration (attaching is not owning),
+   so worker exit never unlinks a segment the parent still serves.
+4. **Graceful degradation.** ``workers <= 1``, unavailable shared memory,
+   running *inside* a pool worker (no nested pools), or an unpicklable
+   task (lambda factories are common in tests and benchmarks) all fall
+   back to inline serial execution with the same code path the pool
+   executes — so the fallback is exercised constantly and cannot drift.
+
+Select the backend explicitly (``resolve_backend(workers)``, the CLI's
+``--workers N``) or globally via the ``REPRO_WORKERS`` environment
+variable (used by CI to force the process backend under the whole tier-1
+suite).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = [
+    "SharedGraph",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "default_workers",
+    "shared_memory_available",
+    "materialize",
+    "shutdown_all",
+]
+
+#: Environment variable that sets the default worker count (CI uses it to
+#: force the process backend under the full test suite).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set in pool workers so nested ``resolve_backend`` calls stay serial
+#: (a worker spawning its own pool would oversubscribe and can deadlock).
+_IN_WORKER_ENV = "_REPRO_POOL_WORKER"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory graph handle
+# ----------------------------------------------------------------------
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Attaching is not owning: only the creator may unlink. Python < 3.13
+    registers every ``SharedMemory`` — including pure attachments — with
+    the resource tracker; under fork the workers share the parent's
+    tracker process, so a worker-side registration (or a compensating
+    ``unregister``) corrupts the parent's bookkeeping and the tracker
+    either double-unlinks or logs spurious KeyErrors. 3.13+ exposes
+    ``track=False`` for exactly this; on older versions registration is
+    suppressed for the duration of the attach.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _close_segments(shms, unlink: bool) -> None:
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+
+
+#: Worker-process cache: first segment name -> materialized Graph. Keeps
+#: the attached SharedMemory objects alive for the worker's lifetime.
+_ATTACHED_GRAPHS: dict[str, Graph] = {}
+_ATTACHED_SEGMENTS: list[Any] = []
+
+
+class SharedGraph:
+    """Zero-copy handle for shipping a :class:`Graph` to pool workers.
+
+    Created owner-side with :meth:`create` (copies the CSR arrays into
+    shared memory once). Pickles as segment names + dtypes/shapes; in a
+    worker, :meth:`graph` attaches the segments (once per process, cached)
+    and wraps them in a read-only :class:`Graph` without copying the
+    arrays. Owner-side lifetime is refcounted: the creator holds one
+    reference; :meth:`release` at zero closes and unlinks the segments. A
+    ``weakref.finalize`` guarantees cleanup even if release is never
+    called.
+    """
+
+    __slots__ = ("_meta", "_shms", "_graph", "_owner", "_refs", "_finalizer", "__weakref__")
+
+    def __init__(self, meta: dict, shms: list, graph: Graph | None, owner: bool) -> None:
+        self._meta = meta
+        self._shms = shms
+        self._graph = graph
+        self._owner = owner
+        self._refs = 1 if owner else 0
+        self._finalizer = (
+            weakref.finalize(self, _close_segments, shms, True) if owner else None
+        )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, graph: Graph) -> "SharedGraph":
+        """Copy ``graph``'s CSR arrays into fresh shm segments (owner side)."""
+        from multiprocessing import shared_memory
+
+        shms: list = []
+        arrays: list[tuple[str, str, tuple[int, ...]]] = []
+        try:
+            for arr in (graph.indptr, graph.indices, graph.weights):
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                if arr.size:
+                    np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+                shms.append(shm)
+                arrays.append((shm.name, arr.dtype.str, tuple(arr.shape)))
+        except Exception:
+            _close_segments(shms, unlink=True)
+            raise
+        meta = {"name": graph.name, "arrays": arrays}
+        return cls(meta, shms, graph, owner=True)
+
+    # -- pickling -------------------------------------------------------
+    def __reduce__(self):
+        return (_attach_shared_graph, (self._meta,))
+
+    # -- access ---------------------------------------------------------
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _, _ in self._meta["arrays"])
+
+    def graph(self) -> Graph:
+        """The underlying graph (owner: the original; worker: attached)."""
+        if self._graph is None:
+            self._graph = _materialize_from_meta(self._meta)
+        return self._graph
+
+    # -- owner-side lifetime --------------------------------------------
+    def acquire(self) -> "SharedGraph":
+        """Take an extra owner-side reference to the segments."""
+        if self._owner and self._refs > 0:
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; at zero, close and unlink the segments."""
+        if not self._owner or self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            _close_segments(self._shms, unlink=True)
+            self._shms = []
+
+    @property
+    def closed(self) -> bool:
+        return self._owner and self._refs == 0
+
+
+def _materialize_from_meta(meta: dict) -> Graph:
+    """Attach to the named segments and build the graph (cached per process)."""
+    key = meta["arrays"][0][0]
+    cached = _ATTACHED_GRAPHS.get(key)
+    if cached is not None:
+        return cached
+    bufs: list[np.ndarray] = []
+    attached: list = []
+    try:
+        for name, dtype, shape in meta["arrays"]:
+            shm = _attach_untracked(name)
+            attached.append(shm)
+            bufs.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf))
+    except Exception:
+        _close_segments(attached, unlink=False)
+        raise
+    # Graph() takes the shm-backed arrays as-is (right dtype, contiguous):
+    # no copy, the worker reads the parent's physical pages.
+    graph = Graph(bufs[0], bufs[1], bufs[2], name=meta["name"])
+    _ATTACHED_GRAPHS[key] = graph
+    _ATTACHED_SEGMENTS.extend(attached)
+    return graph
+
+
+def _attach_shared_graph(meta: dict) -> "SharedGraph":
+    """Unpickle hook: rebuild a (non-owning) handle in the receiver."""
+    return SharedGraph(meta, [], None, owner=False)
+
+
+def materialize(graph_or_handle: "Graph | SharedGraph") -> Graph:
+    """Accept either a plain graph or a shared handle; return the graph.
+
+    Task functions call this on their first argument so the same function
+    body serves both the inline/serial path (plain :class:`Graph`) and the
+    pool path (:class:`SharedGraph`).
+    """
+    if isinstance(graph_or_handle, SharedGraph):
+        return graph_or_handle.graph()
+    return graph_or_handle
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """Maps task tuples over workers; results come back in submission order."""
+
+    #: ``"serial"`` or ``"process"`` — recorded in BENCH_* host metadata.
+    kind: str = "serial"
+    #: Host worker processes this backend fans out to (1 = inline).
+    workers: int = 1
+
+    def map(self, fn: Callable, tasks: Sequence[tuple]) -> list:
+        """Run ``fn(*task)`` for every task; list of results, in order."""
+        raise NotImplementedError
+
+    def share_graph(self, graph: Graph) -> "Graph | SharedGraph":
+        """Prepare ``graph`` for shipping to workers (identity when serial)."""
+        return graph
+
+    def shutdown(self) -> None:
+        """Release worker processes and every shared segment."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution in the calling process (the ``workers<=1`` path)."""
+
+    kind = "serial"
+    workers = 1
+
+    def map(self, fn: Callable, tasks: Sequence[tuple]) -> list:
+        return [fn(*task) for task in tasks]
+
+
+class _InlineResult:
+    """Future-alike for tasks executed inline (unpicklable fallback)."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, fn: Callable, task: tuple) -> None:
+        try:
+            self._value, self._error = fn(*task), None
+        except BaseException as exc:  # re-raised in submission order
+            self._value, self._error = None, exc
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+def _init_worker() -> None:  # pragma: no cover - runs in the worker
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def _picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:
+        return False
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Persistent worker-process pool with shared-memory graph shipping.
+
+    The pool is created lazily on first :meth:`map` and reused across
+    calls (EPP rounds, harness cells, bench repeats), so fork/spawn cost
+    is paid once per process, not once per task. Graphs registered via
+    :meth:`share_graph` are cached by identity — one set of segments per
+    graph for the backend's whole lifetime.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("ProcessPoolBackend needs workers >= 2")
+        self.workers = int(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._shared: dict[int, SharedGraph] = {}
+        self._keepalive: dict[int, Graph] = {}
+
+    # -- graph registry -------------------------------------------------
+    def share_graph(self, graph: Graph) -> SharedGraph:
+        handle = self._shared.get(id(graph))
+        if handle is None or handle.closed:
+            handle = SharedGraph.create(graph)
+            self._shared[id(graph)] = handle
+            # Keep the graph alive so id() stays unambiguous for the cache.
+            self._keepalive[id(graph)] = graph
+        return handle
+
+    # -- execution ------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_init_worker
+            )
+        return self._pool
+
+    def map(self, fn: Callable, tasks: Sequence[tuple]) -> list:
+        """Fan tasks out to the pool; unpicklable tasks run inline.
+
+        Results (and exceptions) are delivered in submission order. If the
+        pool dies mid-flight (a worker was killed), the surviving tasks
+        are re-run inline rather than lost.
+        """
+        slots: list[Future | _InlineResult] = []
+        pending: dict[int, tuple] = {}
+        for i, task in enumerate(tasks):
+            if _picklable((fn, task)):
+                slots.append(self._ensure_pool().submit(fn, *task))
+                pending[i] = task
+            else:
+                slots.append(_InlineResult(fn, task))
+        results: list = []
+        for i, slot in enumerate(slots):
+            try:
+                results.append(slot.result())
+            except BrokenProcessPool:
+                self._discard_pool()
+                results.append(_InlineResult(fn, pending[i]).result())
+        return results
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- lifetime -------------------------------------------------------
+    def shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for handle in self._shared.values():
+            handle.release()
+        self._shared.clear()
+        self._keepalive.clear()
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+_SERIAL = SerialBackend()
+_POOLS: dict[int, ProcessPoolBackend] = {}
+_SHM_AVAILABLE: bool | None = None
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX/Windows shared memory actually works here (cached)."""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (1 when unset or malformed)."""
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def resolve_backend(workers: int | None = None) -> ExecutionBackend:
+    """Pick the execution backend for a requested worker count.
+
+    ``workers=None`` consults ``REPRO_WORKERS``. Serial is returned when
+    the effective count is <= 1, when shared memory is unavailable, or
+    when already running inside a pool worker (no nested pools). Process
+    backends are cached per worker count and shut down at interpreter
+    exit; call :func:`shutdown_all` to release them earlier.
+    """
+    count = default_workers() if workers is None else int(workers)
+    if (
+        count <= 1
+        or os.environ.get(_IN_WORKER_ENV)
+        or not shared_memory_available()
+    ):
+        return _SERIAL
+    backend = _POOLS.get(count)
+    if backend is None:
+        backend = ProcessPoolBackend(count)
+        _POOLS[count] = backend
+    return backend
+
+
+def shutdown_all() -> None:
+    """Shut down every cached process backend (idempotent; atexit-hooked)."""
+    for backend in list(_POOLS.values()):
+        backend.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_all)

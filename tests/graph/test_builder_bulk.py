@@ -1,0 +1,87 @@
+"""Builder bulk path: chunked storage, order preservation, overflow guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.graph.builder as B
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture
+def random_edges():
+    rng = np.random.default_rng(13)
+    us = rng.integers(0, 200, 1500)
+    vs = rng.integers(0, 200, 1500)
+    ws = rng.random(1500)
+    return us, vs, ws
+
+
+def test_bulk_equals_scalar_bit_for_bit(random_edges):
+    us, vs, ws = random_edges
+    bulk = GraphBuilder(200).add_edges(us, vs, ws).build()
+    scalar = GraphBuilder(200)
+    for u, v, w in zip(us, vs, ws):
+        scalar.add_edge(int(u), int(v), float(w))
+    ref = scalar.build()
+    assert np.array_equal(bulk.indptr, ref.indptr)
+    assert np.array_equal(bulk.indices, ref.indices)
+    assert np.array_equal(bulk.weights, ref.weights)  # float sums exact
+
+
+def test_interleaved_scalar_and_bulk_preserve_order(random_edges):
+    us, vs, ws = random_edges
+    mixed = GraphBuilder(200)
+    for u, v, w in zip(us[:50], vs[:50], ws[:50]):
+        mixed.add_edge(int(u), int(v), float(w))
+    mixed.add_edges(us[50:900], vs[50:900], ws[50:900])
+    for u, v, w in zip(us[900:950], vs[900:950], ws[900:950]):
+        mixed.add_edge(int(u), int(v), float(w))
+    mixed.add_edges(us[950:], vs[950:], ws[950:])
+    assert len(mixed) == us.size
+    ref = GraphBuilder(200).add_edges(us, vs, ws).build()
+    got = mixed.build()
+    assert np.array_equal(got.weights, ref.weights)
+    assert np.array_equal(got.indices, ref.indices)
+
+
+def test_bulk_snapshots_caller_arrays(random_edges):
+    us, vs, ws = random_edges
+    ref = GraphBuilder(200).add_edges(us, vs, ws).build()
+    mutated_us = us.copy()
+    builder = GraphBuilder(200).add_edges(mutated_us, vs, ws)
+    mutated_us[:] = 0  # must not leak into the built graph
+    got = builder.build()
+    assert np.array_equal(got.indices, ref.indices)
+    assert np.array_equal(got.weights, ref.weights)
+
+
+def test_bulk_validation_errors():
+    builder = GraphBuilder(10)
+    with pytest.raises(ValueError, match="aligned"):
+        builder.add_edges([0, 1], [1])
+    with pytest.raises(ValueError, match="aligned"):
+        builder.add_edges([0, 1], [1, 2], [1.0])
+    with pytest.raises(IndexError):
+        builder.add_edges([0, 10], [1, 2])
+    with pytest.raises(IndexError):
+        builder.add_edges([-1], [0])
+    with pytest.raises(ValueError, match="non-negative"):
+        builder.add_edges([0], [1], [-2.0])
+    assert len(builder) == 0  # failed adds must not partially apply
+
+
+def test_duplicate_detection_survives_bulk_path():
+    with pytest.raises(ValueError, match="duplicate"):
+        GraphBuilder(5, merge_parallel=False).add_edges([0, 1], [1, 0]).build()
+
+
+def test_assemble_lexsort_fallback_identical(monkeypatch, random_edges):
+    us, vs, ws = random_edges
+    fused = GraphBuilder(200).add_edges(us, vs, ws).build()
+    monkeypatch.setattr(B, "_FUSED_KEY_MAX", 1)  # n * n "overflows"
+    fallback = GraphBuilder(200).add_edges(us, vs, ws).build()
+    assert np.array_equal(fused.indptr, fallback.indptr)
+    assert np.array_equal(fused.indices, fallback.indices)
+    assert np.array_equal(fused.weights, fallback.weights)

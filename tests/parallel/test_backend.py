@@ -1,0 +1,195 @@
+"""Process-pool backend: byte-identical results, zero-copy shipping, no leaks.
+
+The hard guarantee under test: ``workers=N`` is an implementation detail of
+the *host*, invisible in every result — labels, simulated timings, harness
+rows. Shared-memory hygiene is checked directly against ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.parallel.backend as B
+from repro.bench.harness import run_matrix
+from repro.community import EPP, PLM, PLP
+from repro.graph import generators
+from repro.parallel.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedGraph,
+    materialize,
+    resolve_backend,
+    shared_memory_available,
+    shutdown_all,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this host"
+)
+
+_SHM_DIR = "/dev/shm"
+
+
+def _shm_segments() -> set[str]:
+    if not os.path.isdir(_SHM_DIR):
+        return set()
+    return {n for n in os.listdir(_SHM_DIR) if n.startswith("psm_")}
+
+
+@pytest.fixture
+def clean_pools():
+    """Shut cached pools down after the test and assert no segment leaks."""
+    before = _shm_segments()
+    yield
+    shutdown_all()
+    assert _shm_segments() <= before, "leaked /dev/shm segments"
+
+
+# -- task functions must be module-level to pickle into workers ------------
+def _degree_sum(graph) -> float:
+    graph = materialize(graph)
+    return float(graph.weights.sum())
+
+
+def _boom(graph) -> None:
+    materialize(graph)
+    raise RuntimeError("worker task failed on purpose")
+
+
+def _plp_labels(graph, seed: int) -> np.ndarray:
+    graph = materialize(graph)
+    return PLP(threads=4, seed=seed).run(graph).partition.labels
+
+
+# -- SharedGraph -----------------------------------------------------------
+def test_shared_graph_roundtrip_and_unlink(clean_pools):
+    graph, _ = generators.planted_partition(120, 4, 0.3, 0.02, seed=1)
+    handle = SharedGraph.create(graph)
+    try:
+        assert set(handle.segment_names) <= _shm_segments()
+        # Owner side: graph() is the original object, no copy.
+        assert handle.graph() is graph
+        # Receiver side: unpickle + attach reads the same bytes.
+        clone = pickle.loads(pickle.dumps(handle))
+        attached = clone.graph()
+        assert np.array_equal(attached.indptr, graph.indptr)
+        assert np.array_equal(attached.indices, graph.indices)
+        assert np.array_equal(attached.weights, graph.weights)
+        assert attached.name == graph.name
+    finally:
+        handle.release()
+    assert handle.closed
+    assert not (set(handle.segment_names) & _shm_segments())
+
+
+def test_shared_graph_refcount(clean_pools):
+    graph = generators.erdos_renyi(30, 0.2, seed=2)
+    handle = SharedGraph.create(graph)
+    handle.acquire()
+    handle.release()
+    assert not handle.closed  # creator's reference still held
+    handle.release()
+    assert handle.closed
+    handle.release()  # over-release is a no-op, not an error
+
+
+def test_materialize_passthrough():
+    graph = generators.erdos_renyi(10, 0.3, seed=0)
+    assert materialize(graph) is graph
+
+
+# -- backend resolution ----------------------------------------------------
+def test_resolve_backend_serial_cases(monkeypatch):
+    assert isinstance(resolve_backend(1), SerialBackend)
+    assert isinstance(resolve_backend(0), SerialBackend)
+    monkeypatch.setenv(B.WORKERS_ENV, "not-a-number")
+    assert isinstance(resolve_backend(None), SerialBackend)
+    monkeypatch.setenv(B.WORKERS_ENV, "3")
+    assert resolve_backend(None).workers == 3
+    # Inside a pool worker, nested resolution must stay serial.
+    monkeypatch.setenv(B._IN_WORKER_ENV, "1")
+    assert isinstance(resolve_backend(4), SerialBackend)
+    shutdown_all()
+
+
+def test_pool_map_submission_order_and_reuse(clean_pools):
+    graph = generators.erdos_renyi(40, 0.2, seed=3)
+    with ProcessPoolBackend(2) as backend:
+        shared = backend.share_graph(graph)
+        assert backend.share_graph(graph) is shared  # cached per graph
+        out = backend.map(_plp_labels, [(shared, s) for s in range(4)])
+        assert len(out) == 4
+        for seed, labels in enumerate(out):
+            assert np.array_equal(labels, _plp_labels(graph, seed))
+
+
+def test_unpicklable_task_runs_inline(clean_pools):
+    graph = generators.erdos_renyi(20, 0.2, seed=4)
+    captured = []  # closure makes the fn unpicklable
+
+    def local_fn(g):
+        captured.append(1)
+        return _degree_sum(g)
+
+    with ProcessPoolBackend(2) as backend:
+        out = backend.map(local_fn, [(graph,)])
+    assert out == [_degree_sum(graph)]
+    assert captured == [1]  # ran in this process
+
+
+def test_worker_exception_propagates_without_leak(clean_pools):
+    graph = generators.erdos_renyi(20, 0.2, seed=5)
+    with ProcessPoolBackend(2) as backend:
+        shared = backend.share_graph(graph)
+        with pytest.raises(RuntimeError, match="on purpose"):
+            backend.map(_boom, [(shared,)])
+    # clean_pools asserts the segments were unlinked despite the failure
+
+
+# -- byte-identical results across worker counts ---------------------------
+@pytest.mark.parametrize("algo", ["plp", "plm", "epp"])
+def test_workers_do_not_change_labels_or_sim_time(algo, clean_pools):
+    graph, _ = generators.planted_partition(200, 5, 0.3, 0.01, seed=7)
+    factories = {
+        "plp": lambda w: PLP(threads=4, seed=1),
+        "plm": lambda w: PLM(threads=4, seed=1),
+        "epp": lambda w: EPP(threads=4, seed=1, ensemble_size=3, workers=w),
+    }
+    serial = factories[algo](1).run(graph)
+    shutdown_all()  # pooled run starts from a cold backend
+    pooled = factories[algo](2).run(graph)
+    assert np.array_equal(serial.partition.labels, pooled.partition.labels)
+    assert serial.timing.total == pooled.timing.total
+    assert serial.timing.sections == pooled.timing.sections
+
+
+def test_harness_rows_identical_across_workers(clean_pools):
+    graph, _ = generators.planted_partition(150, 5, 0.3, 0.02, seed=11)
+    algorithms = {
+        "PLP": _plp_factory,
+        "PLM": _plm_factory,
+    }
+    serial = run_matrix(algorithms, [graph], runs=2, seed=3, workers=1)
+    pooled = run_matrix(algorithms, [graph], runs=2, seed=3, workers=2)
+    assert len(serial) == len(pooled)
+    for a, b in zip(serial, pooled):
+        assert a.algorithm == b.algorithm and a.network == b.network
+        assert a.modularity == b.modularity
+        assert a.time == b.time  # simulated seconds: exact
+        assert a.communities == b.communities
+        assert a.imbalance == b.imbalance
+        assert a.overhead_share == b.overhead_share
+        assert a.loops == b.loops
+        # wall_time is host seconds — the only column allowed to differ
+
+
+def _plp_factory(seed: int) -> PLP:
+    return PLP(threads=4, seed=seed)
+
+
+def _plm_factory(seed: int) -> PLM:
+    return PLM(threads=4, seed=seed)
