@@ -45,6 +45,9 @@ def _run_cell(graph, factory: AlgorithmFactory, seed: int) -> dict:
         "imbalance": result.timing.loop_imbalance,
         "overhead_share": result.timing.overhead_share,
         "loops": result.timing.loops,
+        # Present only when the run executed under REPRO_RACECHECK=1 (the
+        # default runtime honors the env var): loop/conflict counters.
+        "racecheck": result.info.get("racecheck"),
     }
 
 
@@ -74,6 +77,9 @@ class ExperimentRow:
     overhead_share: float = 0.0
     wall_time: float = 0.0
     loops: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Summed racecheck counters over the runs (loops checked, conflict
+    #: counts per kind, fatal total); ``None`` when racecheck was off.
+    racecheck: dict[str, int] | None = None
 
     def key(self) -> tuple[str, str]:
         return (self.algorithm, self.network)
@@ -122,8 +128,13 @@ def run_matrix(
             mods, times, ks, imbalances, overheads = [], [], [], [], []
             walls: list[float] = []
             loop_acc: dict[str, dict[str, list[float]]] = {}
+            rc_acc: dict[str, int] | None = None
             for r in range(runs):
                 out = next(by_cell)
+                if out.get("racecheck") is not None:
+                    rc_acc = rc_acc or {}
+                    for k, v in out["racecheck"].items():
+                        rc_acc[k] = rc_acc.get(k, 0) + int(v)
                 walls.append(out["wall"])
                 mods.append(out["modularity"])
                 times.append(out["time"])
@@ -159,6 +170,7 @@ def run_matrix(
                         label: {k: float(np.mean(v)) for k, v in acc.items()}
                         for label, acc in loop_acc.items()
                     },
+                    racecheck=rc_acc,
                 )
             )
     return rows

@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(open in chrome://tracing or ui.perfetto.dev) and print the "
         "per-phase section tree plus per-loop telemetry",
     )
+    detect.add_argument(
+        "--racecheck",
+        action="store_true",
+        help="run with race-detection instrumentation: record per-block "
+        "read/write footprints on shared arrays, fail on any conflict the "
+        "algorithm's shared-memory contract (docs/CORRECTNESS.md) does not "
+        "whitelist, and print benign-conflict counters",
+    )
 
     compare = sub.add_parser("compare", help="run the algorithm portfolio")
     compare.add_argument("graph")
@@ -135,7 +143,11 @@ def _cmd_detect(args) -> int:
     detector = ALGORITHMS[args.algorithm](args)
     tracer = Tracer() if args.trace else None
     runtime = ParallelRuntime(
-        PAPER_MACHINE, threads=getattr(detector, "threads", 1), tracer=tracer
+        PAPER_MACHINE,
+        threads=getattr(detector, "threads", 1),
+        tracer=tracer,
+        # None honors REPRO_RACECHECK; the flag forces it on.
+        racecheck=True if args.racecheck else None,
     )
     result = detector.run(graph, runtime=runtime)
     part = result.partition
@@ -156,6 +168,18 @@ def _cmd_detect(args) -> int:
     if args.dot:
         community_graph_dot(graph, part.labels, args.dot)
         print(f"wrote {args.dot}")
+    if runtime.racecheck is not None:
+        rc = result.info.get("racecheck", {})
+        kinds = ", ".join(
+            f"{k}={v}"
+            for k, v in rc.items()
+            if k not in ("loops", "fatal") and v
+        )
+        print(
+            f"racecheck:   {rc.get('loops', 0)} loops checked, "
+            f"{rc.get('fatal', 0)} fatal"
+            + (f" ({kinds})" if kinds else " (no conflicts)")
+        )
     if args.trace:
         _print_telemetry(result.timing)
         count = write_chrome_trace(tracer, args.trace)

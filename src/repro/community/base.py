@@ -38,6 +38,7 @@ class DetectionResult:
 
     @property
     def labels(self) -> np.ndarray:
+        """Community id per node (shorthand for ``partition.labels``)."""
         return self.partition.labels
 
 
@@ -72,6 +73,8 @@ class CommunityDetector(abc.ABC):
         """
         if runtime is None:
             runtime = ParallelRuntime(PAPER_MACHINE, threads=self.threads)
+        rc = runtime.racecheck
+        rc_snap = rc.counter_snapshot() if rc is not None else None
         snap = runtime.snapshot()
         labels, info = self._run(graph, runtime)
         labels = np.asarray(labels)
@@ -80,6 +83,11 @@ class CommunityDetector(abc.ABC):
                 f"{self.name}: labels shape {labels.shape} != ({graph.n},)"
             )
         timing = runtime.report_since(snap)
+        if rc is not None:
+            # Conflict counters attributable to this run (loops checked,
+            # benign-stale / write-write / RMW counts, fatal total).
+            info = dict(info)
+            info["racecheck"] = rc.summary(since=rc_snap)
         return DetectionResult(Partition(labels), timing, info)
 
     @abc.abstractmethod

@@ -138,8 +138,9 @@ class EPP(CommunityDetector):
         with ``workers > 1`` they are dispatched to the process pool (the
         graph travels once, zero-copy, via shared memory) and the mutated
         sub-runtimes come back for the same ``join_max`` merge the inline
-        path uses. Tracing pins execution inline — a worker's tracer copy
-        would swallow its block events.
+        path uses. Tracing and racecheck pin execution inline — a worker's
+        tracer copy would swallow its block events, and a worker's race
+        checker copy would swallow its footprints and conflict counters.
         """
         subs = runtime.split(self.ensemble_size, prefix="base")
         tasks = [
@@ -147,7 +148,12 @@ class EPP(CommunityDetector):
             for i, sub in enumerate(subs)
         ]
         backend = resolve_backend(self.workers)
-        if backend.workers > 1 and runtime.tracer is None and len(tasks) > 1:
+        if (
+            backend.workers > 1
+            and runtime.tracer is None
+            and runtime.racecheck is None
+            and len(tasks) > 1
+        ):
             shared = backend.share_graph(graph)
             tasks = [(shared,) + task[1:] for task in tasks]
             outcomes = backend.map(_run_base_instance, tasks)

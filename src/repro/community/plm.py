@@ -66,6 +66,11 @@ class PLM(CommunityDetector):
     seed:
         Tie-breaking seed (kept for API symmetry; PLM itself is
         deterministic given the runtime interleaving).
+    speculate:
+        Enable the whole-sweep speculation fast path on quiet sweeps
+        (default on; results are bit-identical either way — the A/B flag
+        exists so tests can prove it, see ``info["speculation"]`` for the
+        per-run validated/invalidated block counts).
     audit_modularity:
         Recompute full modularity after every sweep and record
         ``abs(incremental - full)`` in ``modularity_audit`` (testing hook;
@@ -84,6 +89,7 @@ class PLM(CommunityDetector):
         schedule: str = "guided",
         seed: int = 0,
         audit_modularity: bool = False,
+        speculate: bool = True,
     ) -> None:
         super().__init__(threads=threads)
         if gamma < 0:
@@ -95,6 +101,10 @@ class PLM(CommunityDetector):
         self.schedule = schedule
         self.seed = seed
         self.audit_modularity = audit_modularity
+        self.speculate = speculate
+        #: speculation telemetry of the most recent run (also published as
+        #: ``info["speculation"]`` on the result).
+        self._spec_counters: dict[str, int] = {}
         #: abs(incremental - full) per audited sweep (see audit_modularity).
         self.modularity_audit: list[float] = []
         if refine:
@@ -153,6 +163,27 @@ class PLM(CommunityDetector):
         # Communities whose volume/size changed since sweep start (only
         # maintained while a speculation is active).
         comm_dirty = np.zeros(n, dtype=bool)
+        rc = runtime.racecheck
+        if rc is not None:
+            # Shared-memory contract (docs/CORRECTNESS.md): gain kernels
+            # read labels/volumes/sizes stale (§III-B benign races); the
+            # volume/size transfers run at commit time under the modeled
+            # per-community lock (accumulate_ok); comm_dirty is an
+            # idempotent monotone flag array (racing set-True is safe).
+            labels = rc.track(labels, "plm.labels", stale_read_ok=True)
+            comm_vol = rc.track(
+                comm_vol, "plm.comm_vol", stale_read_ok=True, accumulate_ok=True
+            )
+            comm_size = rc.track(
+                comm_size, "plm.comm_size", stale_read_ok=True, accumulate_ok=True
+            )
+            comm_dirty = rc.track(
+                comm_dirty,
+                "plm.comm_dirty",
+                stale_read_ok=True,
+                write_write_ok=True,
+            )
+        spec_ctr = self._spec_counters
         moved_batches: list[np.ndarray] = []
         rng = np.random.default_rng(self.seed)
 
@@ -358,6 +389,7 @@ class PLM(CommunityDetector):
                         not comm_dirty[s_nbr_labs[sl]].any()
                         and not comm_dirty[cur].any()
                     ):
+                        spec_ctr["validated"] = spec_ctr.get("validated", 0) + 1
                         mm = s_move[lo:hi]
                         if not mm.any():
                             return None
@@ -367,6 +399,10 @@ class PLM(CommunityDetector):
                             s_lab[lo:hi][mm],
                             s_vol[lo:hi][mm],
                         )
+                    # A commit since sweep start touched one of this
+                    # block's input communities: the speculated decision
+                    # may be stale, re-evaluate against live state below.
+                    spec_ctr["invalidated"] = spec_ctr.get("invalidated", 0) + 1
                 nbrs = nbrs_all[sl]
                 if nbrs.size == 0:
                     return None
@@ -475,7 +511,11 @@ class PLM(CommunityDetector):
                 labels_ord = labels[order]
                 vol_ord = volumes[order]
                 keys_base = plan.seg * width if fused_ok else None
-                if prev_moves * 1024 < order.size and plan.seg.size:
+                if (
+                    self.speculate
+                    and prev_moves * 1024 < order.size
+                    and plan.seg.size
+                ):
                     # Quiet sweep expected: speculate every block's
                     # decision from the sweep-start state in one pass
                     # (same ``decide`` the per-block kernel runs, so the
@@ -500,6 +540,9 @@ class PLM(CommunityDetector):
                     comm_dirty[:] = False
                     state["spec_dirty"] = False
                     spec = (s_move, s_lab, s_vol, labels[plan.nbrs])
+                    spec_ctr["speculated_sweeps"] = (
+                        spec_ctr.get("speculated_sweeps", 0) + 1
+                    )
                 else:
                     spec = None
                 state["spec"] = spec
@@ -599,8 +642,10 @@ class PLM(CommunityDetector):
             "refine_sweeps_per_level": [],
             "gamma": self.gamma,
         }
+        self._spec_counters = {}
         labels = self._detect(graph, runtime, 0, info)
         info["levels"] = len(info["sweeps_per_level"])
+        info["speculation"] = dict(self._spec_counters)
         return labels, info
 
 

@@ -164,6 +164,17 @@ class PLP(CommunityDetector):
         degrees = graph.degrees()
         theta = n * self.theta_factor
         cache = neighborhood_cache(graph)
+        rc = runtime.racecheck
+        if rc is not None:
+            # Shared-memory contract (docs/CORRECTNESS.md): label reads may
+            # be stale (§III-A benign races); `active` takes idempotent
+            # cross-block writes (deactivate/reactivate flags), where the
+            # contract is convergence, not last-writer determinism.
+            prefix = self.name.lower()
+            labels = rc.track(labels, f"{prefix}.labels", stale_read_ok=True)
+            active = rc.track(
+                active, f"{prefix}.active", stale_read_ok=True, write_write_ok=True
+            )
         iterations: list[dict[str, int]] = []
         # Mutable cells captured by the kernel/commit closures. ``plan``
         # holds the current iteration's pre-gathered neighborhoods

@@ -32,6 +32,20 @@ from repro.parallel.backend import (
     shutdown_all,
 )
 from repro.parallel.machine import Machine, PAPER_MACHINE
+from repro.parallel.racecheck import (
+    RACECHECK_ENV,
+    ArrayPolicy,
+    Conflict,
+    RaceChecker,
+    RaceError,
+    ScheduleDependenceError,
+    ScheduleIndependenceReport,
+    ScheduleRun,
+    TrackedArray,
+    canonical_labels,
+    racecheck_enabled,
+    verify_schedule_independence,
+)
 from repro.parallel.scheduling import (
     Chunk,
     Schedule,
@@ -77,6 +91,18 @@ __all__ = [
     "write_chrome_trace",
     "Machine",
     "PAPER_MACHINE",
+    "RACECHECK_ENV",
+    "ArrayPolicy",
+    "Conflict",
+    "RaceChecker",
+    "RaceError",
+    "ScheduleDependenceError",
+    "ScheduleIndependenceReport",
+    "ScheduleRun",
+    "TrackedArray",
+    "canonical_labels",
+    "racecheck_enabled",
+    "verify_schedule_independence",
     "Chunk",
     "Schedule",
     "static_schedule",

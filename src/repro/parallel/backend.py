@@ -180,6 +180,7 @@ class SharedGraph:
     # -- access ---------------------------------------------------------
     @property
     def segment_names(self) -> tuple[str, ...]:
+        """Names of the shared-memory segments backing the CSR arrays."""
         return tuple(name for name, _, _ in self._meta["arrays"])
 
     def graph(self) -> Graph:
@@ -208,6 +209,7 @@ class SharedGraph:
 
     @property
     def closed(self) -> bool:
+        """Whether the owner has released every shared-memory segment."""
         return self._owner and self._refs == 0
 
 

@@ -96,10 +96,12 @@ class Machine:
 
     @property
     def physical_cores(self) -> int:
+        """Total physical cores across all sockets."""
         return self.sockets * self.cores_per_socket
 
     @property
     def hardware_threads(self) -> int:
+        """Schedulable hardware threads (physical cores x SMT ways)."""
         return self.physical_cores * self.smt
 
     def effective_frequency(self, active_cores: int) -> float:

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.parallel.machine import Machine, PAPER_MACHINE
 from repro.parallel.metrics import TimingReport
+from repro.parallel.racecheck import RaceChecker, RaceError, racecheck_enabled
 from repro.parallel.scheduling import Schedule, make_schedule
 from repro.parallel.tracing import (
     BlockEvent,
@@ -133,6 +134,23 @@ class ParallelRuntime:
     name:
         Track name in trace exports (``"main"`` unless this is a
         sub-runtime).
+    racecheck:
+        Race-detection instrumentation: pass a configured
+        :class:`~repro.parallel.racecheck.RaceChecker`, ``True`` for a
+        default one (raise on fatal conflicts), or ``None`` (default) to
+        honor the ``REPRO_RACECHECK`` environment variable. ``False``
+        disables it even when the env var is set. Algorithms register
+        their shared arrays via :attr:`racecheck`'s
+        :meth:`~repro.parallel.racecheck.RaceChecker.track`; the executor
+        attributes every tracked access to its ``(loop, chunk, block)``
+        and classifies cross-block conflicts at each loop barrier.
+        Sub-runtimes created by :meth:`split` share the checker.
+    chunk_permutation:
+        Optional seed perturbing the order chunks are dispatched in (the
+        schedule's chunk *contents* are unchanged). Models run-to-run
+        nondeterminism of real dynamic/guided dispatch; used by
+        :func:`~repro.parallel.racecheck.verify_schedule_independence`.
+        ``None`` keeps the schedule's natural order.
     """
 
     def __init__(
@@ -142,6 +160,8 @@ class ParallelRuntime:
         default_schedule: str = "guided",
         tracer: Tracer | None = None,
         name: str = "main",
+        racecheck: "RaceChecker | bool | None" = None,
+        chunk_permutation: int | None = None,
         _trace_offset: float = 0.0,
     ) -> None:
         self.machine = machine
@@ -149,6 +169,14 @@ class ParallelRuntime:
         self.default_schedule = default_schedule
         self.tracer = tracer
         self.name = name
+        if racecheck is None:
+            racecheck = racecheck_enabled()
+        if racecheck is True:
+            racecheck = RaceChecker()
+        elif racecheck is False:
+            racecheck = None
+        self.racecheck: RaceChecker | None = racecheck
+        self.chunk_permutation = chunk_permutation
         self._trace_offset = _trace_offset
         self._elapsed = 0.0
         self._sections: dict[str, float] = {}
@@ -165,6 +193,7 @@ class ParallelRuntime:
         return self._elapsed
 
     def reset(self) -> None:
+        """Zero the simulated clock and drop all accumulated accounting."""
         self._elapsed = 0.0
         self._sections.clear()
         self._section_path.clear()
@@ -371,18 +400,37 @@ class ParallelRuntime:
         )
         label = loop or "parallel_for"
         start_abs = self._trace_offset + self._elapsed
-        stats = self._execute(
-            sched,
-            items,
-            costs,
-            kernel,
-            commit,
-            max(1, grain),
-            memory_bound,
-            label=label,
-            kind=kind,
-            start_abs=start_abs,
-        )
+        rc = self.racecheck
+        if rc is not None:
+            rc.begin_loop(label)
+        try:
+            stats = self._execute(
+                sched,
+                items,
+                costs,
+                kernel,
+                commit,
+                max(1, grain),
+                memory_bound,
+                label=label,
+                kind=kind,
+                start_abs=start_abs,
+            )
+        except BaseException:
+            if rc is not None:
+                rc.abort_loop()
+            raise
+        if rc is not None:
+            try:
+                found = rc.end_loop()
+            except RaceError as err:
+                if self.tracer is not None:
+                    for c in err.conflicts:
+                        self.tracer.record_conflict(c, start_abs)
+                raise
+            if self.tracer is not None:
+                for c in found:
+                    self.tracer.record_conflict(c, start_abs)
         self._loops.append(
             LoopRecord(
                 loop=label,
@@ -426,7 +474,7 @@ class ParallelRuntime:
         clocks = [0.0] * p
         busy = [0.0] * p
         disp = [0.0] * p
-        pending: list[tuple[float, int, Any]] = []
+        pending: list[tuple[float, int, Any, tuple[int, int]]] = []
         seq = 0
         blocks_run = 0
         lag_sum = 0.0
@@ -434,12 +482,21 @@ class ParallelRuntime:
         lag_blocks = 0
         tracer = self.tracer
         capture = tracer is not None and tracer.capture_blocks
+        rc = self.racecheck
 
         # Per-thread state: the block queue of the chunk a thread currently
         # owns. Threads acquire chunks (static: from their own queue,
         # dynamic/guided: from the shared queue) when their block queue
         # drains.
         numbered = list(enumerate(sched.chunks))
+        if self.chunk_permutation is not None and len(numbered) > 1:
+            # Perturb dispatch order only: chunk boundaries, thread
+            # affinities (static), and costs are untouched. Seeded per
+            # loop so repeated loops see different-but-reproducible orders.
+            perm_rng = np.random.default_rng(
+                (self.chunk_permutation, len(self._loops))
+            )
+            numbered = [numbered[i] for i in perm_rng.permutation(len(numbered))]
         if sched.is_static:
             own: list[deque] = [deque() for _ in range(p)]
             for ci, chunk in numbered:
@@ -488,9 +545,13 @@ class ParallelRuntime:
             block_dispatch = dispatch if first else 0.0
             # Make all writes from blocks that finished by `start` visible.
             while pending and pending[0][0] <= start:
-                _, _, update = heapq.heappop(pending)
+                _, _, update, ckey = heapq.heappop(pending)
                 if commit is not None and update is not None:
+                    if rc is not None:
+                        rc.set_block(ckey, "commit")
                     commit(update)
+                    if rc is not None:
+                        rc.clear_block()
             # Stale-commit lag: writes still in flight at kernel-read time
             # land later; the gap to the latest of them is how stale this
             # block's view of the shared state is.
@@ -500,14 +561,19 @@ class ParallelRuntime:
                 lag_sum += block_lag
                 lag_max = max(lag_max, block_lag)
                 lag_blocks += 1
+            key = (ci, blocks_run)
+            if rc is not None:
+                rc.set_block(key, "kernel")
             update = kernel(items[lo:hi])
+            if rc is not None:
+                rc.clear_block()
             duration = float(costs[lo:hi].sum()) / rate
             end = start + duration
             clocks[t] = end
             busy[t] += duration
             disp[t] += block_dispatch
             blocks_run += 1
-            heapq.heappush(pending, (end, seq, update))
+            heapq.heappush(pending, (end, seq, update, key))
             seq += 1
             heapq.heappush(ready, (next_start(t, end), t))
             if capture:
@@ -529,9 +595,13 @@ class ParallelRuntime:
 
         # Loop barrier: drain remaining commits in completion order.
         while pending:
-            _, _, update = heapq.heappop(pending)
+            _, _, update, ckey = heapq.heappop(pending)
             if commit is not None and update is not None:
+                if rc is not None:
+                    rc.set_block(ckey, "commit")
                 commit(update)
+                if rc is not None:
+                    rc.clear_block()
 
         barrier = self._barrier_cost() if clocks else 0.0
         elapsed = max(clocks) + barrier if clocks else 0.0
@@ -559,9 +629,10 @@ class ParallelRuntime:
 
         Models nested parallel regions: EPP runs its ensemble of base
         algorithms concurrently, each on ``threads // count`` threads
-        (at least 1). Sub-runtimes inherit the tracer and are offset to
-        the parent's current simulated time, so their loops land on
-        overlapping (concurrent) tracks in trace exports.
+        (at least 1). Sub-runtimes inherit the tracer, the race checker,
+        and the chunk-permutation seed, and are offset to the parent's
+        current simulated time, so their loops land on overlapping
+        (concurrent) tracks in trace exports.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
@@ -574,6 +645,8 @@ class ParallelRuntime:
                 self.default_schedule,
                 tracer=self.tracer,
                 name=f"{self.name}.{prefix}{i}",
+                racecheck=self.racecheck if self.racecheck is not None else False,
+                chunk_permutation=self.chunk_permutation,
                 _trace_offset=offset,
             )
             for i in range(count)

@@ -47,6 +47,7 @@ class Chunk:
 
     @property
     def size(self) -> int:
+        """Number of loop items the chunk covers."""
         return self.stop - self.start
 
 
@@ -60,9 +61,11 @@ class Schedule:
 
     @property
     def is_static(self) -> bool:
+        """Whether chunks carry fixed thread assignments (static schedule)."""
         return self.kind == "static"
 
     def total_cost(self) -> float:
+        """Summed work units over all chunks of the schedule."""
         return sum(c.cost for c in self.chunks)
 
 

@@ -310,17 +310,32 @@ class Tracer:
         self.capture_blocks = capture_blocks
         self.events: list[BlockEvent] = []
         self.sections: list[SectionSpan] = []
+        #: ``(conflict, loop_start_sim_time)`` pairs forwarded by runtimes
+        #: running with racecheck enabled (see :mod:`repro.parallel.racecheck`).
+        self.conflicts: list[tuple[Any, float]] = []
 
     def record_block(self, event: BlockEvent) -> None:
+        """Append one executed-block event (no-op unless capturing blocks)."""
         if self.capture_blocks:
             self.events.append(event)
 
     def record_section(self, span: SectionSpan) -> None:
+        """Append one completed section span."""
         self.sections.append(span)
 
+    def record_conflict(self, conflict: Any, start: float) -> None:
+        """Record a racecheck :class:`~repro.parallel.racecheck.Conflict`.
+
+        ``start`` is the absolute simulated time of the loop the conflict
+        was found in; exported as an instant event in the Chrome trace.
+        """
+        self.conflicts.append((conflict, start))
+
     def clear(self) -> None:
+        """Drop all recorded events, section spans, and conflicts."""
         self.events.clear()
         self.sections.clear()
+        self.conflicts.clear()
 
     def __len__(self) -> int:  # pragma: no cover - convenience
         return len(self.events)
@@ -391,6 +406,29 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                     "chunk": ev.chunk,
                     "dispatch_us": ev.dispatch * 1e6,
                     "stale_lag_us": ev.stale_lag * 1e6,
+                },
+            }
+        )
+    for conflict, start in tracer.conflicts:
+        # Racecheck conflicts become instant events pinned to their loop's
+        # start time, carrying the classification and attribution sample.
+        pid = pid_of("main") if "main" in pids else pid_of("racecheck")
+        events.append(
+            {
+                "name": f"racecheck:{conflict.kind}",
+                "cat": "racecheck",
+                "ph": "i",
+                "s": "g",
+                "ts": start * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "array": conflict.array,
+                    "loop": conflict.loop,
+                    "fatal": conflict.fatal,
+                    "count": conflict.count,
+                    "indices": list(conflict.indices),
+                    "blocks": [list(b) for b in conflict.blocks],
                 },
             }
         )

@@ -1,0 +1,67 @@
+"""PLM whole-sweep speculation: the comm_dirty validation must be exact.
+
+The speculation fast path (see ``PLM._move_phase``) precomputes every
+block's move decision from the sweep-start state and accepts it only if
+none of the block's input communities were dirtied by an earlier commit.
+These tests pin the two claims that make it safe:
+
+* the *invalidation* path actually runs (blocks re-evaluate against live
+  state when their inputs drifted) — this was previously untested; a
+  wrong ``comm_dirty`` condition could silently accept stale decisions,
+* results are bit-identical with speculation disabled (labels AND
+  simulated timings), on graphs that exercise both paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community.plm import PLM, PLMR
+from repro.graph import generators
+from repro.parallel import PAPER_MACHINE, ParallelRuntime, RaceChecker
+
+
+@pytest.fixture(scope="module")
+def invalidating_graph():
+    """Large noisy planted partition: converges through long quiet tails
+    (speculated sweeps) that still carry moves (invalidated blocks)."""
+    graph, _ = generators.planted_partition(4096, 32, 0.05, 0.01, seed=5)
+    return graph
+
+
+class TestSpeculationInvalidation:
+    def test_invalidation_path_is_exercised(self, invalidating_graph):
+        det = PLM(threads=4, seed=1)
+        result = det.run(invalidating_graph)
+        spec = result.info["speculation"]
+        assert spec.get("speculated_sweeps", 0) >= 1
+        assert spec.get("validated", 0) > 0
+        # The regression this file exists for: at least one block's inputs
+        # drifted mid-sweep and forced live re-evaluation.
+        assert spec.get("invalidated", 0) > 0
+
+    def test_speculation_is_bit_identical_to_disabled(self, invalidating_graph):
+        spec_on = PLM(threads=4, seed=1).run(invalidating_graph)
+        spec_off = PLM(threads=4, seed=1, speculate=False).run(invalidating_graph)
+        np.testing.assert_array_equal(spec_on.labels, spec_off.labels)
+        assert spec_on.timing.total == spec_off.timing.total
+        assert spec_off.info["speculation"] == {}  # fast path never entered
+
+    def test_plmr_refinement_also_identical(self, invalidating_graph):
+        spec_on = PLMR(threads=4, seed=1).run(invalidating_graph)
+        spec_off = PLMR(threads=4, seed=1, speculate=False).run(
+            invalidating_graph
+        )
+        np.testing.assert_array_equal(spec_on.labels, spec_off.labels)
+        assert spec_on.timing.total == spec_off.timing.total
+
+    def test_speculated_sweeps_clean_under_racecheck(self, invalidating_graph):
+        """Racecheck audit of the speculative sweep machinery: the dirty
+        checks and spec-accept shortcut must not introduce any conflict
+        the declared contract does not whitelist."""
+        rc = RaceChecker()
+        runtime = ParallelRuntime(PAPER_MACHINE, threads=4, racecheck=rc)
+        result = PLM(threads=4, seed=1).run(invalidating_graph, runtime=runtime)
+        assert result.info["speculation"].get("invalidated", 0) > 0
+        assert result.info["racecheck"]["fatal"] == 0

@@ -1,0 +1,368 @@
+"""Race-checker unit tests: classification, attribution, whitelist exactness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    RACECHECK_ENV,
+    PAPER_MACHINE,
+    ParallelRuntime,
+    RaceChecker,
+    RaceError,
+    Tracer,
+    canonical_labels,
+    racecheck_enabled,
+)
+from repro.parallel.tracing import chrome_trace
+
+
+def make_runtime(rc, threads=4, **kw):
+    return ParallelRuntime(PAPER_MACHINE, threads=threads, racecheck=rc, **kw)
+
+
+# ----------------------------------------------------------------------
+# Fatal classifications
+# ----------------------------------------------------------------------
+class TestFatalConflicts:
+    def test_injected_unsynchronized_accumulator_is_caught(self):
+        """The acceptance-criterion scenario: a kernel that does an
+        unprotected read-modify-write on a shared accumulator must raise
+        RaceError carrying (loop, chunk, block, array, indices)."""
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        acc = rc.track(np.zeros(8), "hist")
+        items = np.arange(64)
+
+        def kernel(chunk):
+            idx = chunk % 8
+            acc[idx] = acc[idx] + 1.0  # racy += outside the commit protocol
+            return None
+
+        with pytest.raises(RaceError) as exc:
+            rt.parallel_for(items, kernel, loop="inject.rmw")
+        conflicts = exc.value.conflicts
+        assert conflicts
+        c = conflicts[0]
+        # full attribution: loop label, array name, indices, block keys
+        assert c.loop == "inject.rmw"
+        assert c.array == "hist"
+        assert c.fatal
+        assert c.count > 0 and len(c.indices) > 0
+        assert all(0 <= i < 8 for i in c.indices)
+        assert c.blocks and all(len(b) == 2 for b in c.blocks)
+        chunks = {b[0] for b in c.blocks}
+        assert len(chunks) >= 2  # at least two distinct chunks involved
+        # the message itself names everything a human needs
+        msg = str(exc.value)
+        assert "inject.rmw" in msg and "hist" in msg and "chunk" in msg
+
+    def test_kernel_ufunc_at_accumulation_is_fatal(self):
+        """np.add.at inside a *kernel* is an unlocked shared write."""
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        acc = rc.track(np.zeros(8), "acc")
+
+        def kernel(chunk):
+            np.add.at(acc, chunk % 8, 1.0)
+            return None
+
+        with pytest.raises(RaceError):
+            rt.parallel_for(np.arange(64), kernel, loop="kernel.at")
+
+    def test_cross_block_write_write_is_fatal_by_default(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        flags = rc.track(np.zeros(8), "flags")
+
+        def commit(chunk):
+            flags[chunk % 8] = 1.0
+
+        with pytest.raises(RaceError) as exc:
+            rt.parallel_for(np.arange(64), lambda c: c, commit, loop="ww")
+        assert exc.value.conflicts[0].kind == "write-write"
+
+    def test_unwhitelisted_stale_read_is_fatal(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        labels = rc.track(np.arange(64), "labels")
+
+        def kernel(chunk):
+            return chunk, np.asarray(labels[(chunk + 1) % 64])
+
+        def commit(update):
+            chunk, _ = update
+            labels[chunk] = chunk * 2
+
+        with pytest.raises(RaceError) as exc:
+            rt.parallel_for(np.arange(64), kernel, commit, loop="stale")
+        kinds = {c.kind for c in exc.value.conflicts}
+        assert "stale-read" in kinds
+
+
+# ----------------------------------------------------------------------
+# Whitelisted (benign) classifications
+# ----------------------------------------------------------------------
+class TestWhitelists:
+    def test_locked_commit_accumulation_is_clean(self):
+        """ufunc.at in the commit phase models the per-community lock."""
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        acc = rc.track(np.zeros(8), "acc", accumulate_ok=True, stale_read_ok=True)
+
+        def commit(chunk):
+            np.add.at(acc, chunk % 8, 1.0)
+
+        rt.parallel_for(np.arange(64), lambda c: c, commit, loop="locked")
+        assert rc.counters["fatal"] == 0
+        assert acc.sum() == 64.0  # no updates lost, by construction
+
+    def test_commit_scalar_rmw_counts_as_locked(self):
+        """`a[i] -= v` in a commit is a read-then-write of the same index
+        under the modeled lock — equivalent to ufunc.at, not a race."""
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        acc = rc.track(np.zeros(8), "acc", accumulate_ok=True, stale_read_ok=True)
+
+        def commit(chunk):
+            for i in np.asarray(chunk) % 8:
+                acc[int(i)] -= 1.0
+
+        rt.parallel_for(np.arange(64), lambda c: c, commit, loop="scalar")
+        assert rc.counters["fatal"] == 0
+        assert acc.sum() == -64.0
+
+    def test_write_write_ok_downgrades_to_benign(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        flags = rc.track(
+            np.zeros(8), "flags", write_write_ok=True, stale_read_ok=True
+        )
+
+        def commit(chunk):
+            flags[chunk % 8] = 1.0
+
+        rt.parallel_for(np.arange(64), lambda c: c, commit, loop="ww.ok")
+        assert rc.counters["fatal"] == 0
+        assert rc.counters["write-write"] == 1  # still counted, not fatal
+
+    def test_benign_stale_reads_are_counted(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        labels = rc.track(np.arange(64), "labels", stale_read_ok=True)
+
+        def kernel(chunk):
+            return chunk, np.asarray(labels[(chunk + 1) % 64])
+
+        def commit(update):
+            chunk, _ = update
+            labels[chunk] = chunk * 2
+
+        rt.parallel_for(np.arange(64), kernel, commit, loop="stale.ok")
+        assert rc.counters["fatal"] == 0
+        assert rc.counters["benign-stale"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Whitelist exactness: revoking one flag must surface the conflict
+# ----------------------------------------------------------------------
+class TestWhitelistExactness:
+    """Prove the algorithm whitelists are exact, not blankets: overriding
+    a single declared flag to False makes tier-1-clean algorithms fail."""
+
+    @pytest.fixture
+    def planted(self):
+        from repro.graph import generators
+
+        graph, _ = generators.planted_partition(120, 4, 0.3, 0.02, seed=7)
+        return graph
+
+    def test_plp_needs_stale_read_whitelist_on_labels(self, planted):
+        from repro.community.plp import PLP
+
+        rc = RaceChecker(overrides={"plp.labels": {"stale_read_ok": False}})
+        with pytest.raises(RaceError):
+            PLP(threads=4, seed=2).run(planted, runtime=make_runtime(rc))
+
+    def test_plp_needs_write_write_whitelist_on_active(self, planted):
+        from repro.community.plp import PLP
+
+        rc = RaceChecker(overrides={"plp.active": {"write_write_ok": False}})
+        with pytest.raises(RaceError):
+            PLP(threads=4, seed=2).run(planted, runtime=make_runtime(rc))
+
+    def test_plm_needs_accumulate_whitelist_on_volumes(self, planted):
+        from repro.community.plm import PLM
+
+        rc = RaceChecker(overrides={"plm.comm_vol": {"accumulate_ok": False}})
+        with pytest.raises(RaceError):
+            PLM(threads=4, seed=2).run(planted, runtime=make_runtime(rc))
+
+    def test_plm_needs_stale_read_whitelist_on_labels(self, planted):
+        from repro.community.plm import PLM
+
+        rc = RaceChecker(overrides={"plm.labels": {"stale_read_ok": False}})
+        with pytest.raises(RaceError):
+            PLM(threads=4, seed=2).run(planted, runtime=make_runtime(rc))
+
+    def test_algorithms_clean_under_declared_whitelists(self, planted):
+        from repro.community.epp import EPP
+        from repro.community.plm import PLM, PLMR
+        from repro.community.plp import PLP
+
+        for det in (
+            PLP(threads=4, seed=2),
+            PLM(threads=4, seed=2),
+            PLMR(threads=4, seed=2),
+            EPP(threads=4, seed=2),
+        ):
+            rc = RaceChecker()
+            result = det.run(planted, runtime=make_runtime(rc))
+            assert result.info["racecheck"]["fatal"] == 0
+            assert result.info["racecheck"]["loops"] > 0
+
+    def test_racecheck_does_not_change_results(self, planted):
+        from repro.community.plm import PLM
+
+        plain = PLM(threads=4, seed=2).run(planted)
+        checked = PLM(threads=4, seed=2).run(
+            planted, runtime=make_runtime(RaceChecker())
+        )
+        np.testing.assert_array_equal(plain.labels, checked.labels)
+        assert plain.timing.total == checked.timing.total
+
+
+# ----------------------------------------------------------------------
+# Activation & plumbing
+# ----------------------------------------------------------------------
+class TestActivation:
+    def test_env_var_activates(self, monkeypatch):
+        monkeypatch.setenv(RACECHECK_ENV, "1")
+        assert racecheck_enabled()
+        rt = ParallelRuntime(PAPER_MACHINE, threads=2)
+        assert rt.racecheck is not None
+
+    def test_env_var_off_values(self, monkeypatch):
+        for value in ("", "0", "false", "no", "off"):
+            monkeypatch.setenv(RACECHECK_ENV, value)
+            assert not racecheck_enabled()
+        monkeypatch.delenv(RACECHECK_ENV)
+        assert not racecheck_enabled()
+
+    def test_explicit_false_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(RACECHECK_ENV, "1")
+        rt = ParallelRuntime(PAPER_MACHINE, threads=2, racecheck=False)
+        assert rt.racecheck is None
+
+    def test_split_shares_checker(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        subs = rt.split(2)
+        assert all(sub.racecheck is rc for sub in subs)
+
+    def test_report_mode_collects_without_raising(self):
+        rc = RaceChecker(raise_on_fatal=False)
+        rt = make_runtime(rc)
+        acc = rc.track(np.zeros(8), "acc")
+
+        def kernel(chunk):
+            np.add.at(acc, chunk % 8, 1.0)
+            return None
+
+        rt.parallel_for(np.arange(64), kernel, loop="report")
+        assert rc.counters["fatal"] >= 1
+        assert any(c.fatal for c in rc.conflicts)
+
+    def test_conflicts_exported_to_chrome_trace(self):
+        tracer = Tracer()
+        rc = RaceChecker(raise_on_fatal=False)
+        rt = ParallelRuntime(PAPER_MACHINE, threads=4, racecheck=rc, tracer=tracer)
+        acc = rc.track(np.zeros(8), "acc")
+
+        def kernel(chunk):
+            np.add.at(acc, chunk % 8, 1.0)
+            return None
+
+        rt.parallel_for(np.arange(64), kernel, loop="traced")
+        assert tracer.conflicts
+        doc = chrome_trace(tracer)
+        race_events = [
+            e for e in doc["traceEvents"] if e.get("cat") == "racecheck"
+        ]
+        assert race_events
+        assert race_events[0]["args"]["array"] == "acc"
+
+    def test_kernel_exception_aborts_loop_scope(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        rc.track(np.zeros(8), "acc")
+
+        def kernel(chunk):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            rt.parallel_for(np.arange(8), kernel, loop="abort")
+        # scope stack clean: a fresh loop still works
+        rt.parallel_for(np.arange(8), lambda c: None, loop="after")
+        assert rc.counters["loops"] == 1  # only the completed loop counted
+
+    def test_summary_delta(self):
+        rc = RaceChecker()
+        rt = make_runtime(rc)
+        labels = rc.track(np.arange(64), "labels", stale_read_ok=True)
+
+        def kernel(chunk):
+            return chunk, np.asarray(labels[(chunk + 1) % 64])
+
+        def commit(update):
+            labels[update[0]] = update[0]
+
+        rt.parallel_for(np.arange(64), kernel, commit, loop="a")
+        snap = rc.counter_snapshot()
+        rt.parallel_for(np.arange(64), kernel, commit, loop="b")
+        delta = rc.summary(since=snap)
+        assert delta["loops"] == 1
+
+
+class TestTrackedArray:
+    def test_shares_memory_with_original(self):
+        rc = RaceChecker()
+        base = np.zeros(4)
+        view = rc.track(base, "x")
+        view[1] = 7.0
+        assert base[1] == 7.0
+
+    def test_derived_arrays_are_inert(self):
+        rc = RaceChecker()
+        view = rc.track(np.arange(8), "x")
+        sliced = view[2:5]
+        assert not isinstance(sliced, type(view)) or sliced._recorder is None
+        copied = view.copy()
+        assert getattr(copied, "_recorder", None) is None
+
+    def test_indexed_reads_return_plain_ndarray(self):
+        rc = RaceChecker()
+        view = rc.track(np.arange(8), "x")
+        out = view[np.array([0, 3])]
+        assert type(out) is np.ndarray
+
+    def test_recording_only_inside_block_context(self):
+        """Loop-serial code (no active block) records nothing."""
+        rc = RaceChecker()
+        view = rc.track(np.arange(8), "x")
+        rc.begin_loop("l")
+        view[0] = 1  # no block context -> ignored
+        assert rc.end_loop() == []
+
+
+class TestCanonicalLabels:
+    def test_renaming_invariance(self):
+        a = np.array([5, 5, 2, 2, 9])
+        b = np.array([1, 1, 7, 7, 0])
+        np.testing.assert_array_equal(canonical_labels(a), canonical_labels(b))
+
+    def test_distinguishes_different_clusterings(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert not np.array_equal(canonical_labels(a), canonical_labels(b))

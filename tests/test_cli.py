@@ -53,7 +53,8 @@ class TestDetect:
         doc = json.loads(trace.read_text())
         events = doc["traceEvents"]
         assert events
-        assert all(e["ph"] in ("X", "M") for e in events)
+        # "i" instant events appear when racecheck is active (REPRO_RACECHECK=1).
+        assert all(e["ph"] in ("X", "M", "i") for e in events)
         complete = [e for e in events if e["ph"] == "X"]
         assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
         # The ensemble's sub-runtimes appear as their own trace processes.

@@ -1,0 +1,58 @@
+"""Intra-repo markdown link checker (the CI docs job runs this).
+
+Every relative link or image in the repo's markdown files must resolve to
+an existing file (anchors and external URLs are skipped). A broken
+README -> docs/ link is a red build, not a silent 404 in a code review.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+MARKDOWN = sorted(
+    p
+    for p in REPO.rglob("*.md")
+    if not any(part.startswith(".") or part == "node_modules" for part in p.parts)
+)
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def iter_links(path: Path):
+    text = path.read_text(encoding="utf-8")
+    # strip fenced code blocks: links in examples are illustrative
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+def test_markdown_files_found():
+    assert any(p.name == "README.md" for p in MARKDOWN)
+
+
+@pytest.mark.parametrize(
+    "md", MARKDOWN, ids=[str(p.relative_to(REPO)) for p in MARKDOWN]
+)
+def test_relative_links_resolve(md):
+    broken = []
+    for target in iter_links(md):
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (md.parent / rel).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{md.relative_to(REPO)}: broken links {broken}"
+
+
+def test_readme_links_required_docs():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/CORRECTNESS.md" in readme
+    assert "docs/ARCHITECTURE.md" in readme
