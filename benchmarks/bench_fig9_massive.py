@@ -6,7 +6,22 @@ time at slightly lower modularity, PLM needs ~260s, PLMR slightly more for
 slightly higher modularity. CLU_TBB failed on the input. Our stand-in is
 the largest instance in the suite; shapes are asserted, absolute simulated
 rates are reported against the paper's.
+
+Run as a script for the host-scale companion suite (10M+-edge instances,
+generation throughput, peak RSS, detection wall-clock)::
+
+    python benchmarks/bench_fig9_massive.py --preset scale
+
+which delegates to ``repro.bench.wallclock scale`` and writes
+``BENCH_scale.json``.
 """
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
 from repro.bench.datasets import load_dataset
 from repro.bench.report import format_table, write_report
@@ -67,3 +82,9 @@ def test_fig9_massive_network(benchmark):
     # simulated machine model is calibrated to land in that regime).
     assert rate["PLP"] > 2e7
     assert rate["PLM"] > 4e6
+
+
+if __name__ == "__main__":
+    from repro.bench import wallclock
+
+    sys.exit(wallclock.main(["scale", *sys.argv[1:]]))

@@ -67,7 +67,7 @@ def suite_graphs():
 
 #: Bump when algorithms, datasets, or the machine model change — stale
 #: cached matrices would otherwise leak into the figures.
-MATRIX_CACHE_VERSION = "v2-roofline"
+MATRIX_CACHE_VERSION = "v3-vectorized-generators"
 
 
 @pytest.fixture(scope="session")

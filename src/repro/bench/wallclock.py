@@ -58,6 +58,7 @@ __all__ = [
     "SCHEMA",
     "run_kernel_suite",
     "run_e2e_suite",
+    "run_scale_suite",
     "merge_baseline",
     "validate_document",
     "write_document",
@@ -344,6 +345,217 @@ def run_e2e_suite(
 
 
 # ----------------------------------------------------------------------
+# Scale suite (fig9-class inputs, §V-H)
+# ----------------------------------------------------------------------
+def _reset_peak_rss() -> None:
+    """Reset the kernel's peak-RSS high-water mark (Linux; no-op elsewhere)."""
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+    except OSError:
+        pass
+
+
+def _read_peak_rss_mb() -> float | None:
+    """Peak resident set size in MiB since the last reset (None off-Linux)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return round(int(line.split()[1]) / 1024.0, 1)
+    except OSError:
+        pass
+    return None
+
+
+#: (rmat args, planted-partition args, loop-sampler cap, detectors) per preset.
+_SCALE_PRESETS: dict[str, dict[str, Any]] = {
+    # >= 10M undirected edges on both instance classes — the fig9-class
+    # target of the scale path.
+    "scale": {
+        "rmat": dict(scale=20, edge_factor=12, seed=42),
+        "pp": dict(n=1_000_000, k=100, p_in=1.7e-3, p_out=4.2e-6, seed=42),
+        "loop_samples": 100_000,
+        "detectors": ("plp", "plm", "epp"),
+        "gen_repeats": 3,
+    },
+    # ~1M-edge R-MAT only; the CI scale-smoke tier.
+    "scale-smoke": {
+        "rmat": dict(scale=17, edge_factor=8, seed=42),
+        "pp": None,
+        "loop_samples": 20_000,
+        "detectors": ("plp",),
+        "gen_repeats": 3,
+    },
+    # Seconds-fast variant for the benchmark suite's schema test.
+    "scale-tiny": {
+        "rmat": dict(scale=12, edge_factor=8, seed=42),
+        "pp": dict(n=2_000, k=8, p_in=0.04, p_out=0.002, seed=42),
+        "loop_samples": 2_000,
+        "detectors": ("plp",),
+        "gen_repeats": 1,
+    },
+}
+
+
+def _scale_generate_entry(
+    label: str, build: Callable[[], Graph], size: str, repeats: int
+) -> tuple[Graph, dict[str, Any]]:
+    """Time a full generator call (best-of-``repeats``) with peak RSS."""
+    _reset_peak_rss()
+    graph = build()  # warmup; also the instance handed to the detectors
+    best = float("inf")
+    for _ in range(max(0, repeats - 1)):
+        t0 = time.perf_counter()
+        build()
+        best = min(best, time.perf_counter() - t0)
+    if best == float("inf"):
+        # single-repeat preset: the warmup call is the measurement
+        t0 = time.perf_counter()
+        graph = build()
+        best = time.perf_counter() - t0
+    peak = _read_peak_rss_mb()
+    entry = _entry(
+        f"{label}_generate",
+        graph,
+        size,
+        max(1, repeats),
+        best,
+        edges_per_s=round(graph.m / best, 1) if best > 0 else float("inf"),
+        peak_rss_mb=peak,
+    )
+    return graph, entry
+
+
+def _rmat_gen_ab(
+    graph: Graph, size: str, args: dict[str, Any], loop_samples: int, repeats: int
+) -> dict[str, Any]:
+    """Interleaved A/B of the vectorized vs the loop R-MAT *sampler*.
+
+    Measures the sampling phase (endpoint-pair generation) both
+    implementations share semantics on; CSR assembly downstream is
+    identical code for both and excluded. The loop side is timed on
+    ``loop_samples`` pairs and extrapolated to a rate — running it at
+    full fig9 size would take minutes per round. Rounds alternate
+    vec/loop so drifting host load biases neither side.
+    """
+    from repro.graph.generators import PAPER_RMAT, _rmat_sample
+    from repro.graph.reference import rmat_sample_loop
+
+    scale = int(args["scale"])
+    m = (1 << scale) * int(args["edge_factor"])
+    a, b, c, d = PAPER_RMAT
+    loop_n = min(loop_samples, m)
+    best_vec = best_loop = float("inf")
+    for _ in range(max(1, repeats)):
+        rng = np.random.default_rng(args.get("seed", 0))
+        t0 = time.perf_counter()
+        _rmat_sample(rng, scale, m, a, b, c, d)
+        best_vec = min(best_vec, time.perf_counter() - t0)
+        rng = np.random.default_rng(args.get("seed", 0))
+        t0 = time.perf_counter()
+        rmat_sample_loop(rng, scale, loop_n, a, b, c, d)
+        best_loop = min(best_loop, time.perf_counter() - t0)
+    vec_eps = m / best_vec
+    loop_eps = loop_n / best_loop
+    return _entry(
+        "rmat_gen_ab",
+        graph,
+        size,
+        max(1, repeats),
+        best_vec,
+        samples=int(m),
+        vec_edges_per_s=round(vec_eps, 1),
+        loop_samples=int(loop_n),
+        loop_wall_s=float(best_loop),
+        loop_edges_per_s=round(loop_eps, 1),
+        gen_speedup=round(vec_eps / loop_eps, 1),
+        note="sampling phase; loop side capped at loop_samples and "
+        "extrapolated per-pair; interleaved best-of rounds",
+    )
+
+
+def _scale_detect_entry(
+    name: str, graph: Graph, size: str, workers: int | None
+) -> dict[str, Any]:
+    """One timed detector run with peak RSS (no warmup — detection at
+    fig9 size is minutes-long, and allocation noise is small against it)."""
+    _reset_peak_rss()
+    t0 = time.perf_counter()
+    result = _e2e_detector(name, workers).run(graph)
+    wall = time.perf_counter() - t0
+    return _entry(
+        f"{name}_detect",
+        graph,
+        size,
+        1,
+        wall,
+        sim_s=float(result.timing.total),
+        sim_edges_per_s=round(graph.m / result.timing.total, 1)
+        if result.timing.total
+        else float("inf"),
+        peak_rss_mb=_read_peak_rss_mb(),
+        communities=int(np.unique(result.partition.labels).size),
+    )
+
+
+def run_scale_suite(
+    preset: str = "scale",
+    workers: int | None = None,
+    dtype_policy: str = "wide",
+) -> list[dict[str, Any]]:
+    """Massive-input scale benchmarks (fig9-class, §V-H).
+
+    Per instance: full-generator wall time with generation throughput and
+    peak RSS, the interleaved vectorized-vs-loop R-MAT sampler A/B
+    (``rmat_gen_ab.gen_speedup`` is the scale path's headline number), and
+    one timed detection run per configured algorithm (PLP always; PLM and
+    EPP on the full preset). ``workers`` drives EPP's internal ensemble
+    backend exactly as in the e2e suite.
+    """
+    if preset not in _SCALE_PRESETS:
+        raise ValueError(
+            f"unknown scale preset {preset!r} (use {sorted(_SCALE_PRESETS)})"
+        )
+    cfg = _SCALE_PRESETS[preset]
+    from repro.graph.generators import planted_partition, rmat
+
+    entries: list[dict[str, Any]] = []
+    instances: list[tuple[str, Graph]] = []
+
+    rmat_args = cfg["rmat"]
+    size = f"2^{rmat_args['scale']}x{rmat_args['edge_factor']}"
+    graph, entry = _scale_generate_entry(
+        "rmat",
+        lambda: rmat(dtype_policy=dtype_policy, **rmat_args),
+        size,
+        cfg["gen_repeats"],
+    )
+    entries.append(entry)
+    entries.append(
+        _rmat_gen_ab(graph, size, rmat_args, cfg["loop_samples"], cfg["gen_repeats"])
+    )
+    instances.append((size, graph))
+
+    if cfg["pp"] is not None:
+        pp_args = cfg["pp"]
+        size = f"n{pp_args['n']}"
+        graph, entry = _scale_generate_entry(
+            "pp",
+            lambda: planted_partition(dtype_policy=dtype_policy, **pp_args)[0],
+            size,
+            cfg["gen_repeats"],
+        )
+        entries.append(entry)
+        instances.append((size, graph))
+
+    for size, graph in instances:
+        for name in cfg["detectors"]:
+            entries.append(_scale_detect_entry(name, graph, size, workers))
+    return entries
+
+
+# ----------------------------------------------------------------------
 # Document assembly / validation
 # ----------------------------------------------------------------------
 def _host_info(workers: int | None = None) -> dict[str, Any]:
@@ -385,6 +597,10 @@ def merge_baseline(doc: dict, baseline: dict) -> dict:
 
     Entries are matched on (name, graph, size); every matched entry gains
     ``before_s`` (baseline), ``after_s`` (this run) and ``speedup``.
+
+    A match whose instance changed shape (``n``/``m`` differ — e.g. a
+    generator's RNG stream was deliberately re-drawn) is *not* comparable;
+    it gains ``baseline_skipped`` instead of a bogus speedup.
     """
     index = {
         (e["name"], e["graph"], e["size"]): e for e in baseline.get("benchmarks", [])
@@ -392,6 +608,9 @@ def merge_baseline(doc: dict, baseline: dict) -> dict:
     for entry in doc["benchmarks"]:
         base = index.get((entry["name"], entry["graph"], entry["size"]))
         if base is None:
+            continue
+        if (base.get("n"), base.get("m")) != (entry["n"], entry["m"]):
+            entry["baseline_skipped"] = "instance changed (n/m differ from baseline)"
             continue
         entry["before_s"] = float(base["wall_s"])
         entry["after_s"] = float(entry["wall_s"])
@@ -405,8 +624,10 @@ def validate_document(doc: dict) -> list[str]:
     problems: list[str] = []
     if doc.get("schema") != SCHEMA:
         problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
-    if doc.get("kind") not in ("kernels", "e2e"):
-        problems.append(f"kind must be 'kernels' or 'e2e', got {doc.get('kind')!r}")
+    if doc.get("kind") not in ("kernels", "e2e", "scale"):
+        problems.append(
+            f"kind must be 'kernels', 'e2e' or 'scale', got {doc.get('kind')!r}"
+        )
     if not isinstance(doc.get("host"), dict):
         problems.append("host info missing")
     benches = doc.get("benchmarks")
@@ -440,6 +661,12 @@ def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
                 f"  serial={e['serial_wall_s']:.6f}s  "
                 f"x{e['workers_speedup']:.2f} @{e['workers']} workers"
             )
+        if "edges_per_s" in e:
+            extra += f"  {e['edges_per_s'] / 1e6:.2f}M edges/s"
+        if "gen_speedup" in e:
+            extra += f"  loop={e['loop_wall_s']:.3f}s  gen x{e['gen_speedup']:.0f}"
+        if e.get("peak_rss_mb") is not None:
+            extra += f"  peak={e['peak_rss_mb']:.0f}MiB"
         lines.append(
             f"{e['name']:>20s}  {e['graph']:<24s} {e['size']:>5s}  "
             f"{e['wall_s']:.6f}s{extra}"
@@ -470,6 +697,24 @@ def main(argv: list[str] | None = None) -> int:
             "REPRO_WORKERS or 1 = serial). kernels: fans out cells; "
             "e2e: drives EPP's internal backend + the epp_workers_ab entry",
         )
+    s = sub.add_parser("scale", help="run the massive-input scale suite")
+    s.add_argument(
+        "--preset", default="scale", choices=sorted(_SCALE_PRESETS)
+    )
+    s.add_argument("--out", default="BENCH_scale.json")
+    s.add_argument("--baseline", default=None)
+    s.add_argument("--workers", type=int, default=None)
+    s.add_argument(
+        "--dtype-policy", default="wide", choices=["wide", "lean"],
+        help="CSR dtype policy for the generated instances",
+    )
+    s.add_argument(
+        "--min-gen-eps",
+        type=float,
+        default=None,
+        help="fail (exit 1) if R-MAT full-generator throughput in edges/s "
+        "falls below this floor — the CI scale-smoke pin",
+    )
     v = sub.add_parser("validate", help="validate BENCH_*.json schema")
     v.add_argument("files", nargs="+")
     args = parser.parse_args(argv)
@@ -493,9 +738,13 @@ def main(argv: list[str] | None = None) -> int:
         entries = run_kernel_suite(
             args.preset, repeats=args.repeats, workers=args.workers
         )
-    else:
+    elif args.command == "e2e":
         entries = run_e2e_suite(
             args.preset, repeats=args.repeats, workers=args.workers
+        )
+    else:
+        entries = run_scale_suite(
+            args.preset, workers=args.workers, dtype_policy=args.dtype_policy
         )
     doc = build_document(args.command, args.preset, entries, workers=args.workers)
     if args.baseline:
@@ -504,6 +753,14 @@ def main(argv: list[str] | None = None) -> int:
     write_document(doc, args.out)
     print(_format_rows(doc["benchmarks"]))
     print(f"wrote {args.out}")
+    if args.command == "scale" and args.min_gen_eps is not None:
+        gen = next(e for e in entries if e["name"] == "rmat_generate")
+        if gen["edges_per_s"] < args.min_gen_eps:
+            print(
+                f"FAIL: rmat generation {gen['edges_per_s']:.0f} edges/s "
+                f"below floor {args.min_gen_eps:.0f}"
+            )
+            return 1
     return 0
 
 

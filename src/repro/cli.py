@@ -77,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(EPP's base ensemble; default: REPRO_WORKERS or 1 = serial; "
         "results are identical for every worker count)",
     )
+    detect.add_argument(
+        "--dtype-policy",
+        choices=["wide", "lean"],
+        default="wide",
+        help="CSR memory layout: lean halves index/weight bytes (§V-H scale)",
+    )
     detect.add_argument("--gamma", type=float, default=1.0)
     detect.add_argument("--ensemble-size", type=int, default=4)
     detect.add_argument("--seed", type=int, default=0)
@@ -134,12 +140,36 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=int, default=10)
     generate.add_argument("--edge-factor", type=int, default=8)
     generate.add_argument("--seed", type=int, default=0)
-    generate.add_argument("--out", "-o", required=True)
+    generate.add_argument(
+        "--dtype-policy", choices=["wide", "lean"], default="wide"
+    )
+    generate.add_argument(
+        "--out",
+        "-o",
+        required=True,
+        help="output file; .npz writes the binary CSR cache, else METIS",
+    )
     return parser
 
 
+def _load_graph(path: str, dtype_policy: str = "wide"):
+    """Load a graph file and re-layout it under ``dtype_policy`` if asked."""
+    from repro.graph.csr import Graph
+
+    graph = graph_io.load(path)
+    if dtype_policy != graph.dtype_policy:
+        graph = Graph(
+            graph.indptr,
+            graph.indices,
+            graph.weights,
+            name=graph.name,
+            dtype_policy=dtype_policy,
+        )
+    return graph
+
+
 def _cmd_detect(args) -> int:
-    graph = graph_io.load(args.graph)
+    graph = _load_graph(args.graph, args.dtype_policy)
     detector = ALGORITHMS[args.algorithm](args)
     tracer = Tracer() if args.trace else None
     runtime = ParallelRuntime(
@@ -267,22 +297,48 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    policy = args.dtype_policy
     if args.model == "lfr":
-        graph = lfr_graph(args.n, mu=args.mu, seed=args.seed).graph
+        graph = lfr_graph(
+            args.n, mu=args.mu, seed=args.seed, dtype_policy=policy
+        ).graph
     elif args.model == "planted":
         graph, _ = generators.planted_partition(
-            args.n, args.communities, args.p_in, args.p_out, seed=args.seed
+            args.n,
+            args.communities,
+            args.p_in,
+            args.p_out,
+            seed=args.seed,
+            dtype_policy=policy,
         )
     elif args.model == "rmat":
-        graph = generators.rmat(args.scale, args.edge_factor, seed=args.seed)
+        graph = generators.rmat(
+            args.scale, args.edge_factor, seed=args.seed, dtype_policy=policy
+        )
     elif args.model == "ba":
-        graph = generators.barabasi_albert(args.n, 3, seed=args.seed)
+        graph = generators.barabasi_albert(
+            args.n, 3, seed=args.seed, dtype_policy=policy
+        )
     elif args.model == "ws":
         graph = generators.watts_strogatz(args.n, 4, 0.1, seed=args.seed)
     else:  # grid
         side = int(np.sqrt(args.n))
-        graph = generators.grid2d(side, side, seed=args.seed)
-    graph_io.write_metis(graph, args.out)
+        graph = generators.grid2d(side, side, seed=args.seed, dtype_policy=policy)
+    if graph.dtype_policy != policy:
+        from repro.graph.csr import Graph
+
+        graph = Graph(
+            graph.indptr,
+            graph.indices,
+            graph.weights,
+            name=graph.name,
+            dtype_policy=policy,
+        )
+    if str(args.out).endswith(".npz"):
+        # Binary CSR cache: memory-map-speed reload for fig9-class inputs.
+        graph_io.save_npz(graph, args.out)
+    else:
+        graph_io.write_metis(graph, args.out)
     print(f"wrote {graph.n} nodes / {graph.m} edges to {args.out}")
     return 0
 

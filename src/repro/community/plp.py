@@ -46,16 +46,19 @@ def _hash_jitter(
     arbitrarily; a *consistent* tie-break (e.g. largest label) lets one
     label win every tie and flood the graph. Hashing (node, label, salt)
     reproduces arbitrary-but-deterministic tie-breaking, vectorized.
+
+    Wrapping uint64 arithmetic is intentional; NumPy array ops wrap
+    silently, so no ``errstate`` guard is needed (or wanted — entering
+    one per kernel block dominated small-graph sweeps).
     """
-    with np.errstate(over="ignore"):
-        h = (
-            node_ids.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
-            + labs.astype(np.uint64) * np.uint64(2654435761)
-            + salt
-        )
-        h ^= h >> np.uint64(33)
-        h *= np.uint64(0xFF51AFD7ED558CCD)
-        h ^= h >> np.uint64(33)
+    h = (
+        node_ids.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        + labs.astype(np.uint64) * np.uint64(2654435761)
+        + salt
+    )
+    h ^= h >> np.uint64(33)
+    h *= np.uint64(0xFF51AFD7ED558CCD)
+    h ^= h >> np.uint64(33)
     return (h >> np.uint64(11)).astype(np.float64) / float(2**53)
 
 
@@ -180,15 +183,11 @@ class PLP(CommunityDetector):
         # holds the current iteration's pre-gathered neighborhoods
         # (SweepPlan): grain blocks slice flat arrays instead of
         # rebuilding repeat/cumsum index arithmetic per chunk.
-        state: dict[str, Any] = {"updated": 0, "iteration": 0, "plan": None}
+        state: dict[str, Any] = {"updated": 0, "plan": None}
         base_salt = np.uint64(rng.integers(1, 2**63))
-
-        def jitter(node_ids: np.ndarray, labs: np.ndarray) -> np.ndarray:
-            """Per-(node, label, iteration) tie-break noise (see
-            :func:`_hash_jitter`)."""
-            with np.errstate(over="ignore"):
-                salt = base_salt + np.uint64(state["iteration"] * 1_000_003)
-            return _hash_jitter(node_ids, labs, salt)
+        # Per-iteration jitter salt, hoisted out of the kernel (it only
+        # changes between iterations, not between blocks).
+        state["salt"] = base_salt
 
         def kernel(chunk: np.ndarray):
             seg, nbrs, ws = state["plan"].block(chunk)
@@ -197,16 +196,28 @@ class PLP(CommunityDetector):
             groups = group_from_gather(seg, labels[nbrs], ws, width=n)
             cur = labels[chunk]
             cur_w = groups.weight_to_label(chunk.size, cur)
+            salt = state["salt"]
             if groups.gseg.size:
-                node_ids = chunk[groups.gseg]
+                # One fused hash call covers both the candidate-label
+                # scores and the current-label scores; values are
+                # elementwise, so the split halves are bit-identical to
+                # two separate calls.
+                split = groups.gseg.size
+                j = _hash_jitter(
+                    np.concatenate([chunk[groups.gseg], chunk]),
+                    np.concatenate([groups.glab, cur]),
+                    salt,
+                )
                 scale = 1e-9 * (1.0 + groups.gw)
-                score = groups.gw + scale * jitter(node_ids, groups.glab)
+                score = groups.gw + scale * j[:split]
+                cur_jitter = j[split:]
             else:
                 score = groups.gw
+                cur_jitter = _hash_jitter(chunk, cur, salt)
             has, best_lab, best_w = groups.argmax_per_segment(
                 chunk.size, score=score
             )
-            cur_score = cur_w + 1e-9 * (1.0 + cur_w) * jitter(chunk, cur)
+            cur_score = cur_w + 1e-9 * (1.0 + cur_w) * cur_jitter
             change = has & (best_w > cur_score) & (best_lab != cur)
             return chunk[change], best_lab[change], chunk[~change]
 
@@ -246,6 +257,7 @@ class PLP(CommunityDetector):
                     # costs a real parallel shuffle pass (paper §III-A b).
                     runtime.charge(items.size * 2.0, parallel=True)
                 state["updated"] = 0
+                state["salt"] = base_salt + np.uint64(iteration * 1_000_003)
                 # Per-node commits on small active sets (otherwise a whole
                 # iteration is concurrently in flight and fully stale),
                 # coarser blocks on large ones.
@@ -264,7 +276,6 @@ class PLP(CommunityDetector):
                     loop=f"{self.name.lower()}.{section}",
                 )
                 iteration += 1
-                state["iteration"] = iteration
                 iterations.append(
                     {"active": int(items.size), "updated": state["updated"]}
                 )

@@ -15,8 +15,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.graph import dtypes
 from repro.graph._group import FUSED_KEY_MAX, group_pairs, pairs_to_csr_entries
 from repro.graph.csr import Graph
+
+try:  # SciPy's C kernels back the O(nnz) unit-weight fast path below.
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except Exception:  # pragma: no cover - scipy always present in CI
+    _scipy_sparsetools = None
 
 __all__ = ["GraphBuilder", "from_edges"]
 
@@ -36,13 +42,20 @@ class GraphBuilder:
     merge_parallel:
         If ``True`` (default) parallel edges are merged by summing weights;
         if ``False`` duplicates raise at build time.
+    dtype_policy:
+        Storage layout of the built graph (see :mod:`repro.graph.dtypes`).
+        Accumulation always happens in int64/float64; the policy only
+        selects the dtypes of the frozen CSR arrays.
     """
 
-    def __init__(self, n: int, merge_parallel: bool = True) -> None:
+    def __init__(
+        self, n: int, merge_parallel: bool = True, dtype_policy: str = "wide"
+    ) -> None:
         if n < 0:
             raise ValueError("node count must be non-negative")
         self.n = int(n)
         self.merge_parallel = merge_parallel
+        self.dtype_policy = dtype_policy
         # Scalar adds buffer into plain lists; bulk adds land as ready
         # NumPy chunks. ``_chunks`` preserves overall insertion order (the
         # scalar buffer is flushed into it before every bulk chunk), which
@@ -122,7 +135,9 @@ class GraphBuilder:
             us = np.concatenate([c[0] for c in self._chunks])
             vs = np.concatenate([c[1] for c in self._chunks])
             ws = np.concatenate([c[2] for c in self._chunks])
-        return _assemble(self.n, us, vs, ws, self.merge_parallel, name)
+        return _assemble(
+            self.n, us, vs, ws, self.merge_parallel, name, self.dtype_policy
+        )
 
 
 def from_edges(
@@ -130,9 +145,12 @@ def from_edges(
     edges: Iterable[tuple[int, int] | tuple[int, int, float]],
     name: str = "",
     merge_parallel: bool = True,
+    dtype_policy: str = "wide",
 ) -> Graph:
     """Build a graph directly from an iterable of (u, v[, w]) tuples."""
-    builder = GraphBuilder(n, merge_parallel=merge_parallel)
+    builder = GraphBuilder(
+        n, merge_parallel=merge_parallel, dtype_policy=dtype_policy
+    )
     for edge in edges:
         if len(edge) == 2:
             builder.add_edge(edge[0], edge[1])
@@ -148,11 +166,33 @@ def _assemble(
     ws: np.ndarray,
     merge_parallel: bool,
     name: str,
+    dtype_policy: str = "wide",
 ) -> Graph:
     """Symmetrize, dedupe and pack edges into CSR arrays."""
     if us.size == 0:
         indptr = np.zeros(n + 1, dtype=np.int64)
-        return Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
+        return Graph(
+            indptr,
+            np.empty(0, np.int64),
+            np.empty(0, np.float64),
+            name,
+            dtype_policy=dtype_policy,
+        )
+
+    # Unit-weight edge lists (every generator's common case) take an O(nnz)
+    # counting-sort route through SciPy's C kernels: merged weights are
+    # duplicate *counts*, which float64 sums represent exactly, so the
+    # result is byte-identical to the sort-based path below at a fraction
+    # of its cost (the argsort/lexsort pair dominates assembly at the
+    # fig9-class scales this PR targets).
+    if (
+        merge_parallel
+        and _scipy_sparsetools is not None
+        and bool(np.all(ws == 1.0))
+    ):
+        graph = _assemble_unit_fast(n, us, vs, name, dtype_policy)
+        if graph is not None:
+            return graph
 
     # Canonicalize endpoints so duplicate detection is orientation-free;
     # group_pairs guards the fused ``lo * n + hi`` key against int64
@@ -163,4 +203,50 @@ def _assemble(
     if not merge_parallel and e_lo.size < lo.size:
         raise ValueError("duplicate edges with merge_parallel=False")
     indptr, dst, w = pairs_to_csr_entries(e_lo, e_hi, merged_w, n)
-    return Graph(indptr, dst, w, name)
+    return Graph(indptr, dst, w, name, dtype_policy=dtype_policy)
+
+
+def _assemble_unit_fast(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    name: str,
+    dtype_policy: str,
+) -> Graph | None:
+    """Counting-sort CSR assembly for all-unit-weight edges, or ``None``.
+
+    Mirrors non-loop edges (each undirected edge stored in both endpoint
+    rows), appends self-loops once, then rides SciPy's ``coo_tocsr`` /
+    ``csr_sort_indices`` / ``csr_sum_duplicates`` C kernels — one counting
+    sort plus per-row sorts instead of a global argsort over the fused
+    keys. ``_sparsetools`` is a private SciPy module, so any surprise from
+    it (signature drift in a future version) makes this return ``None``
+    and the caller falls through to the pure-NumPy path.
+    """
+    idx_dtype = dtypes.index_dtype(dtype_policy, n, 2 * us.size)
+    loop = us == vs
+    try:
+        if loop.any():
+            nl_u = us[~loop]
+            nl_v = vs[~loop]
+            lp = us[loop]
+            src = np.concatenate([nl_u, nl_v, lp]).astype(idx_dtype, copy=False)
+            dst = np.concatenate([nl_v, nl_u, lp]).astype(idx_dtype, copy=False)
+        else:
+            src = np.concatenate([us, vs]).astype(idx_dtype, copy=False)
+            dst = np.concatenate([vs, us]).astype(idx_dtype, copy=False)
+        nnz = src.size
+        indptr = np.zeros(n + 1, idx_dtype)
+        indices = np.empty(nnz, idx_dtype)
+        data = np.empty(nnz, np.float64)
+        _scipy_sparsetools.coo_tocsr(
+            n, n, nnz, src, dst, np.ones(nnz, np.float64), indptr, indices, data
+        )
+        _scipy_sparsetools.csr_sort_indices(n, indptr, indices, data)
+        _scipy_sparsetools.csr_sum_duplicates(n, n, indptr, indices, data)
+    except Exception:  # pragma: no cover - private-API drift guard
+        return None
+    entries = int(indptr[n])
+    return Graph(
+        indptr, indices[:entries], data[:entries], name, dtype_policy=dtype_policy
+    )

@@ -74,7 +74,11 @@ def coarsen(graph: Graph, communities: np.ndarray, name: str = "") -> Coarsening
         raise ValueError("communities must have one label per node")
     if graph.n == 0:
         empty = Graph(
-            np.zeros(1, np.int64), np.empty(0, np.int64), np.empty(0, np.float64), name
+            np.zeros(1, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0, np.float64),
+            name,
+            dtype_policy=graph.dtype_policy,
         )
         return CoarseningResult(empty, np.empty(0, np.int64), 0)
     if communities.min() < 0:
@@ -85,6 +89,8 @@ def coarsen(graph: Graph, communities: np.ndarray, name: str = "") -> Coarsening
     k = mapping_values.size
     mapping = mapping.astype(np.int64)
 
+    # The coarse graph inherits the fine graph's storage policy so a lean
+    # multilevel stack stays lean at every level.
     us, vs, ws = graph.edge_array()
     cu = mapping[us]
     cv = mapping[vs]
@@ -92,12 +98,21 @@ def coarsen(graph: Graph, communities: np.ndarray, name: str = "") -> Coarsening
     hi = np.maximum(cu, cv)
     if lo.size == 0:
         indptr = np.zeros(k + 1, dtype=np.int64)
-        coarse = Graph(indptr, np.empty(0, np.int64), np.empty(0, np.float64), name)
+        coarse = Graph(
+            indptr,
+            np.empty(0, np.int64),
+            np.empty(0, np.float64),
+            name,
+            dtype_policy=graph.dtype_policy,
+        )
         return CoarseningResult(coarse, mapping, graph.n)
 
     e_lo, e_hi, agg_w = group_pairs(lo, hi, ws, k, _FUSED_KEY_MAX)
     indptr, dst, w = pairs_to_csr_entries(e_lo, e_hi, agg_w, k)
-    coarse = Graph(indptr, dst, w, name or f"{graph.name}/coarse")
+    coarse = Graph(
+        indptr, dst, w, name or f"{graph.name}/coarse",
+        dtype_policy=graph.dtype_policy,
+    )
     return CoarseningResult(coarse, mapping, graph.n)
 
 

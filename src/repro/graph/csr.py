@@ -24,6 +24,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.graph import dtypes
+
 __all__ = ["Graph"]
 
 
@@ -42,6 +44,14 @@ class Graph:
         ``float64`` array aligned with ``indices``.
     name:
         Optional label used by dataset registries and reports.
+    dtype_policy:
+        Storage layout (:mod:`repro.graph.dtypes`): ``"wide"`` (default)
+        stores int64 indices / float64 weights exactly as before; ``"lean"``
+        stores int32 indices (while the entry count fits — see
+        ``dtypes.INT32_ENTRY_MAX``) and float32 weights, halving the CSR
+        footprint and the shared-memory segments shipped to pool workers.
+        Derived aggregates (volumes, loop weights, total edge weight) stay
+        float64 under both policies.
 
     Notes
     -----
@@ -54,6 +64,7 @@ class Graph:
         "indices",
         "weights",
         "name",
+        "dtype_policy",
         "_volumes",
         "_total_edge_weight",
         "_loop_weights",
@@ -69,10 +80,22 @@ class Graph:
         indices: np.ndarray,
         weights: np.ndarray,
         name: str = "",
+        dtype_policy: str = dtypes.WIDE,
     ) -> None:
-        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        indices = np.ascontiguousarray(indices, dtype=np.int64)
-        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self.dtype_policy = dtypes.validate_policy(dtype_policy)
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        idx_dtype = dtypes.index_dtype(
+            dtype_policy, max(indptr.size - 1, 0), indices.size
+        )
+        # ascontiguousarray is a no-op (no copy) when the input already has
+        # the target dtype — shared-memory attach relies on that to wrap
+        # worker-side segment buffers without duplicating them.
+        indptr = np.ascontiguousarray(indptr, dtype=idx_dtype)
+        indices = np.ascontiguousarray(indices, dtype=idx_dtype)
+        weights = np.ascontiguousarray(
+            weights, dtype=dtypes.weight_dtype(dtype_policy)
+        )
         if indptr.ndim != 1 or indptr.size == 0:
             raise ValueError("indptr must be a 1-D array of length n + 1")
         if indptr[0] != 0 or indptr[-1] != indices.size:
@@ -97,15 +120,19 @@ class Graph:
         # (the owner of each adjacency entry) used to be rebuilt on every
         # ``m`` / ``edge_array`` access — an O(m) repeat per call on the
         # hottest property in the codebase.
-        node_of_entry = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        node_of_entry = np.repeat(np.arange(n, dtype=idx_dtype), np.diff(indptr))
         node_of_entry.setflags(write=False)
         self._node_of_entry = node_of_entry
         loop_mask = indices == node_of_entry
         loops = int(np.count_nonzero(loop_mask))
         self._m = (indices.size - loops) // 2 + loops
+        # Float aggregates accumulate in float64 under every policy; for the
+        # default wide layout ``w64`` *is* ``weights`` so the arithmetic
+        # below is bit-identical to the historical code path.
+        w64 = weights if weights.dtype == np.float64 else weights.astype(np.float64)
         loop_weights = np.zeros(n, dtype=np.float64)
         if loops:
-            np.add.at(loop_weights, indices[loop_mask], weights[loop_mask])
+            np.add.at(loop_weights, indices[loop_mask], w64[loop_mask])
         loop_weights.setflags(write=False)
         self._loop_weights = loop_weights
         # Lazy caches: the u <= v edge-list view (modularity, coarsening,
@@ -118,12 +145,12 @@ class Graph:
         sums = np.zeros(n, dtype=np.float64)
         nonempty = np.diff(indptr) > 0
         if indices.size:
-            sums[nonempty] = np.add.reduceat(weights, indptr[:-1][nonempty])
+            sums[nonempty] = np.add.reduceat(w64, indptr[:-1][nonempty])
         volumes = sums + loop_weights
         volumes.setflags(write=False)
         self._volumes = volumes
 
-        total = float(weights.sum() - loop_weights.sum()) / 2.0 + float(
+        total = float(w64.sum() - loop_weights.sum()) / 2.0 + float(
             loop_weights.sum()
         )
         self._total_edge_weight = total

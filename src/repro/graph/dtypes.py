@@ -1,0 +1,67 @@
+"""CSR dtype policies: memory layout selection for massive graphs.
+
+The paper's massive instances (§V-H, fig9) hold billions of adjacency
+entries; at int64/float64 every entry costs 16 bytes across the index and
+weight arrays. The ``lean`` policy halves that — int32 indices whenever the
+entry count fits, float32 weights — which also halves the shared-memory
+segments shipped to pool workers. The ``wide`` policy (default) preserves
+the historical int64/float64 layout bit-for-bit.
+
+Policies are carried by :class:`repro.graph.csr.Graph` instances and are
+propagated through the builder, coarsening and the shared-memory backend.
+Derived float aggregates (volumes, total edge weight) are always
+accumulated in float64 regardless of the storage dtype, so modularity math
+never runs on a float32 accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "POLICIES",
+    "WIDE",
+    "LEAN",
+    "validate_policy",
+    "index_dtype",
+    "weight_dtype",
+]
+
+WIDE = "wide"
+LEAN = "lean"
+
+#: Recognized dtype policies.
+POLICIES = (WIDE, LEAN)
+
+#: Entry-count ceiling for int32 index arrays under the lean policy. A graph
+#: whose CSR entry count (or node count) reaches this bound keeps int64
+#: indices even when lean — int32 could not address its entries. Module
+#: attribute (like ``_group.FUSED_KEY_MAX``) so tests can shrink it to
+#: exercise the int64 guard without allocating 2**31 entries.
+INT32_ENTRY_MAX = np.iinfo(np.int32).max
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` if recognized, raise ``ValueError`` otherwise."""
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown dtype policy {policy!r}; expected one of {POLICIES}"
+        )
+    return policy
+
+
+def index_dtype(policy: str, n: int, entries: int) -> np.dtype:
+    """Index dtype for a CSR graph with ``n`` nodes and ``entries`` entries.
+
+    ``lean`` graphs use int32 when both the node ids and the indptr values
+    (which run up to ``entries``) fit; anything larger — and every ``wide``
+    graph — uses int64.
+    """
+    if policy == LEAN and n < INT32_ENTRY_MAX and entries <= INT32_ENTRY_MAX:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def weight_dtype(policy: str) -> np.dtype:
+    """Weight dtype under ``policy`` (float32 for lean, float64 for wide)."""
+    return np.dtype(np.float32 if policy == LEAN else np.float64)

@@ -73,12 +73,23 @@ def lfr_graph(
     max_community: int = 100,
     seed: int = 0,
     name: str = "",
+    dtype_policy: str = "wide",
 ) -> LFRGraph:
     """Generate an LFR benchmark graph.
 
     Parameters mirror the reference generator. ``mu`` is the mixing
     parameter: each node aims to spend a ``mu`` fraction of its degree on
     inter-community edges.
+
+    The recipe is fully batched: community sizes come from one bulk
+    power-law draw cut at total ``n``, assignment packs nodes into
+    community slots by matching internal-degree rank to community-size
+    rank (random among ties), and internal stub matching runs as a single
+    global lexsort segmented by community instead of a per-community loop.
+    Same-seed outputs therefore differ from the pre-scale-path per-node
+    implementation (kept as :func:`repro.graph.reference.lfr_graph_loop`);
+    the distributional contracts — degree law, size bounds, mixing
+    tolerance — are pinned by tests against both implementations.
     """
     if not 0.0 <= mu <= 1.0:
         raise ValueError("mu must be in [0, 1]")
@@ -96,80 +107,74 @@ def lfr_graph(
     degrees = _power_law_ints(rng, n, tau1, kmin, max_degree)
 
     # --- community sizes ----------------------------------------------
-    sizes: list[int] = []
-    remaining = n
-    while remaining > 0:
-        s = int(_power_law_ints(rng, 1, tau2, min_community, max_community)[0])
-        if s > remaining:
-            s = remaining if remaining >= min_community else s
-        if s >= remaining:
-            sizes.append(remaining)
-            remaining = 0
-        else:
-            sizes.append(s)
-            remaining -= s
-    sizes_arr = np.array(sizes, dtype=np.int64)
+    # Every draw is >= min_community, so n // min_community + 1 draws are
+    # always enough to cover n; cut at the first prefix reaching n and
+    # truncate the final community to land exactly (it may undershoot
+    # min_community, like the residual community of the loop recipe).
+    draws = _power_law_ints(
+        rng, n // min_community + 1, tau2, min_community, max_community
+    )
+    cum = np.cumsum(draws)
+    cut = int(np.searchsorted(cum, n))
+    sizes_arr = draws[: cut + 1].copy()
+    sizes_arr[cut] -= int(cum[cut]) - n
     k = sizes_arr.size
 
     # --- assignment ----------------------------------------------------
     # Internal degree of node v is round((1 - mu) * d(v)); it must be
-    # strictly less than its community size. Assign big nodes first to the
-    # biggest still-open communities.
+    # strictly less than its community size. Rank-matching the largest
+    # internal degrees to the largest communities hosts every node that
+    # *can* be hosted; ties (equal internal degree / equal size) are
+    # randomized through the pre-shuffles feeding the stable sorts. Nodes
+    # too hungry for their community get clamped, as in the loop recipe.
     internal = np.round((1.0 - mu) * degrees).astype(np.int64)
     internal = np.minimum(internal, degrees)
-    order = np.argsort(-internal, kind="stable")
-    capacity = sizes_arr.copy()
-    labels = np.full(n, -1, dtype=np.int64)
-    comm_order = np.argsort(-sizes_arr, kind="stable")
-    for v in order:
-        need = int(internal[v]) + 1  # community must exceed internal degree
-        placed = False
-        # Random fit among communities that can host the node.
-        fits = np.flatnonzero((capacity > 0) & (sizes_arr >= need))
-        if fits.size:
-            c = int(fits[rng.integers(0, fits.size)])
-            labels[v] = c
-            capacity[c] -= 1
-            placed = True
-        if not placed:
-            # Clamp the internal degree to the largest community and retry.
-            c = int(comm_order[0])
-            open_comms = np.flatnonzero(capacity > 0)
-            c = int(open_comms[rng.integers(0, open_comms.size)])
-            internal[v] = min(internal[v], sizes_arr[c] - 1)
-            labels[v] = c
-            capacity[c] -= 1
+    node_shuffle = rng.permutation(n)
+    node_order = node_shuffle[
+        np.argsort(-internal[node_shuffle], kind="stable")
+    ]
+    slot_comm = np.repeat(np.arange(k, dtype=np.int64), sizes_arr)
+    slot_comm = slot_comm[rng.permutation(n)]
+    slots = slot_comm[np.argsort(-sizes_arr[slot_comm], kind="stable")]
+    labels = np.empty(n, dtype=np.int64)
+    labels[node_order] = slots
+    internal = np.minimum(internal, sizes_arr[labels] - 1)
 
     # --- wiring ---------------------------------------------------------
     external = degrees - internal
     us_all: list[np.ndarray] = []
     vs_all: list[np.ndarray] = []
 
-    def stub_match(stub_nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Random perfect matching on a stub multiset (drop odd leftover)."""
-        perm = rng.permutation(stub_nodes)
-        if perm.size % 2:
-            perm = perm[:-1]
-        half = perm.size // 2
-        return perm[:half], perm[half:]
-
-    # Internal edges per community.
-    for c in range(k):
-        members = np.flatnonzero(labels == c)
-        stubs = np.repeat(members, internal[members])
-        u, v = stub_match(stubs)
-        good = u != v
-        us_all.append(u[good])
-        vs_all.append(v[good])
+    # Internal edges: one global stub list, shuffled within each
+    # community segment by sorting on (community, random), then pairing
+    # each segment's first half against its second (odd stub dropped).
+    stubs = np.repeat(np.arange(n, dtype=np.int64), internal)
+    stub_labels = labels[stubs]
+    order = np.lexsort((rng.random(stubs.size), stub_labels))
+    grouped = stubs[order]
+    seg_counts = np.bincount(stub_labels, minlength=k)
+    starts = np.concatenate([[0], np.cumsum(seg_counts)[:-1]])
+    half = seg_counts // 2
+    seg_of = np.repeat(np.arange(k, dtype=np.int64), seg_counts)
+    within = np.arange(stubs.size, dtype=np.int64) - starts[seg_of]
+    u = grouped[within < half[seg_of]]
+    v = grouped[(within >= half[seg_of]) & (within < 2 * half[seg_of])]
+    good = u != v
+    us_all.append(u[good])
+    vs_all.append(v[good])
 
     # External edges: match stubs globally, reject intra-community pairs.
-    stubs = np.repeat(np.arange(n, dtype=np.int64), external)
-    u, v = stub_match(stubs)
+    ext_stubs = np.repeat(np.arange(n, dtype=np.int64), external)
+    perm = rng.permutation(ext_stubs)
+    if perm.size % 2:
+        perm = perm[:-1]
+    ext_half = perm.size // 2
+    u, v = perm[:ext_half], perm[ext_half:]
     good = (u != v) & (labels[u] != labels[v])
     us_all.append(u[good])
     vs_all.append(v[good])
 
-    builder = GraphBuilder(n)
+    builder = GraphBuilder(n, dtype_policy=dtype_policy)
     builder.add_edges(np.concatenate(us_all), np.concatenate(vs_all))
     graph = builder.build(name=name or f"lfr-{n}-mu{mu:g}")
 

@@ -170,7 +170,11 @@ class SharedGraph:
         except Exception:
             _close_segments(shms, unlink=True)
             raise
-        meta = {"name": graph.name, "arrays": arrays}
+        meta = {
+            "name": graph.name,
+            "arrays": arrays,
+            "dtype_policy": graph.dtype_policy,
+        }
         return cls(meta, shms, graph, owner=True)
 
     # -- pickling -------------------------------------------------------
@@ -230,8 +234,15 @@ def _materialize_from_meta(meta: dict) -> Graph:
         _close_segments(attached, unlink=False)
         raise
     # Graph() takes the shm-backed arrays as-is (right dtype, contiguous):
-    # no copy, the worker reads the parent's physical pages.
-    graph = Graph(bufs[0], bufs[1], bufs[2], name=meta["name"])
+    # no copy, the worker reads the parent's physical pages. The policy is
+    # forwarded so lean segments are wrapped as-is instead of widened.
+    graph = Graph(
+        bufs[0],
+        bufs[1],
+        bufs[2],
+        name=meta["name"],
+        dtype_policy=meta.get("dtype_policy", "wide"),
+    )
     _ATTACHED_GRAPHS[key] = graph
     _ATTACHED_SEGMENTS.extend(attached)
     return graph

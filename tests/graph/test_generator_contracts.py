@@ -1,0 +1,164 @@
+"""Distributional contracts pinning the vectorized generators to the loop
+baselines in :mod:`repro.graph.reference`.
+
+The batched rewrites consume their RNG streams differently, so same-seed
+outputs differ between implementations by design; what must NOT differ are
+the distributions — degree laws, clustering, mixing, quadrant skew. Each
+contract below is asserted against *both* implementations, so a regression
+in either one (or a silent divergence between them) fails the same test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, reference
+from repro.graph.generators import PAPER_RMAT
+from repro.graph.lfr import lfr_graph
+from repro.graph.properties import average_local_clustering, connected_components
+from repro.graph.reference import lfr_graph_loop, rmat_sample_loop
+
+
+class TestRmatSamplingContract:
+    SCALE, M = 8, 20_000
+
+    def _samples(self, which):
+        rng = np.random.default_rng(123)
+        if which == "vec":
+            return generators._rmat_sample(rng, self.SCALE, self.M, *PAPER_RMAT)
+        return rmat_sample_loop(rng, self.SCALE, self.M, *PAPER_RMAT)
+
+    @pytest.mark.parametrize("which", ["vec", "loop"])
+    def test_per_level_quadrant_mass(self, which):
+        # At every descent level, P(u-bit = 0) = a + b and
+        # P(v-bit = 0) = a + c, independently of the level.
+        a, b, c, d = PAPER_RMAT
+        us, vs = self._samples(which)
+        for level in range(self.SCALE):
+            bit = (us >> level) & 1
+            assert abs(1.0 - bit.mean() - (a + b)) < 0.02, (which, level)
+            bit = (vs >> level) & 1
+            assert abs(1.0 - bit.mean() - (a + c)) < 0.02, (which, level)
+
+    def test_vec_and_loop_joint_quadrant_agree(self):
+        # Joint (u-bit, v-bit) frequencies at the top level must match
+        # between implementations within sampling + LUT-quantization noise.
+        uv_counts = {}
+        for which in ("vec", "loop"):
+            us, vs = self._samples(which)
+            top = self.SCALE - 1
+            joint = ((us >> top) & 1) * 2 + ((vs >> top) & 1)
+            uv_counts[which] = np.bincount(joint, minlength=4) / us.size
+        np.testing.assert_allclose(
+            uv_counts["vec"], uv_counts["loop"], atol=0.02
+        )
+
+    def test_endpoints_in_range(self):
+        for which in ("vec", "loop"):
+            us, vs = self._samples(which)
+            n = 1 << self.SCALE
+            assert us.min() >= 0 and us.max() < n
+            assert vs.min() >= 0 and vs.max() < n
+
+    def test_sampler_deterministic(self):
+        one = generators._rmat_sample(
+            np.random.default_rng(9), self.SCALE, 1000, *PAPER_RMAT
+        )
+        two = generators._rmat_sample(
+            np.random.default_rng(9), self.SCALE, 1000, *PAPER_RMAT
+        )
+        assert np.array_equal(one[0], two[0])
+        assert np.array_equal(one[1], two[1])
+
+
+class TestGrowthModelContracts:
+    def test_ba_size_and_connectivity(self):
+        for build in (generators.barabasi_albert, reference.barabasi_albert_loop):
+            g = build(600, 2, seed=4)
+            assert g.n == 600
+            # Each arriving node contributes ~attach edges (dedup shaves some).
+            assert 0.8 * 2 * 598 <= g.m <= 2 * 598
+            assert connected_components(g)[0] == 1
+            assert g.degrees().max() > 15  # a hub emerges
+
+    def test_holme_kim_clusters_above_ba(self):
+        for hk_build, ba_build in (
+            (generators.holme_kim, generators.barabasi_albert),
+            (reference.holme_kim_loop, reference.barabasi_albert_loop),
+        ):
+            hk = hk_build(1200, 3, 0.8, seed=2)
+            ba = ba_build(1200, 3, seed=2)
+            assert average_local_clustering(
+                hk, sample_size=300, seed=0
+            ) > average_local_clustering(ba, sample_size=300, seed=0) + 0.05
+
+    def test_copying_model_bounds(self):
+        for build in (generators.copying_model, reference.copying_model_loop):
+            g = build(800, alpha=0.5, out_degree=5, seed=3)
+            assert g.n == 800
+            # Each post-seed node adds at most out_degree edges.
+            assert g.m <= 5 * 800
+            assert g.m > 2 * 800  # rejection can't collapse the graph
+
+    def test_affiliation_clustering(self):
+        for build in (generators.affiliation, reference.affiliation_loop):
+            g = build(1500, 900, 5.0, seed=0)
+            assert average_local_clustering(g, sample_size=300, seed=0) > 0.3
+
+    def test_vectorized_generators_deterministic(self):
+        builds = [
+            lambda: generators.barabasi_albert(300, 2, seed=8),
+            lambda: generators.holme_kim(300, 2, 0.5, seed=8),
+            lambda: generators.copying_model(300, seed=8),
+            lambda: generators.affiliation(300, 150, 4.0, seed=8),
+            lambda: generators.rmat(9, 4, seed=8),
+        ]
+        for build in builds:
+            assert build() == build()
+
+
+class TestLFRContract:
+    N = 1200
+    KW = dict(avg_degree=16.0, max_degree=40, mu=0.2, seed=5)
+
+    @pytest.fixture(scope="class", params=["vec", "loop"])
+    def inst(self, request):
+        build = lfr_graph if request.param == "vec" else lfr_graph_loop
+        return build(self.N, **self.KW)
+
+    def test_degree_cap(self, inst):
+        # Stub rejection only removes edges, so the degree law's cap holds.
+        assert inst.graph.degrees().max() <= 40
+
+    def test_community_sizes_in_bounds(self, inst):
+        sizes = np.bincount(inst.ground_truth)
+        # All but the residual community respect [min_community, max_community].
+        assert np.sort(sizes)[1:].min() >= 20 or sizes.min() >= 1
+        assert sizes.max() <= 100
+        assert sizes.sum() == self.N
+
+    def test_every_node_assigned(self, inst):
+        assert inst.ground_truth.shape == (self.N,)
+        assert inst.ground_truth.min() >= 0
+
+    def test_mixing_near_requested(self, inst):
+        # Rejection sampling drifts mu by a few percent, not more.
+        assert abs(inst.mu_realized - inst.mu_requested) < 0.08
+
+    def test_internal_degree_fits_community(self, inst):
+        # No node's realized internal degree can exceed its community size-1.
+        g = inst.graph
+        labels = inst.ground_truth
+        us, vs, _ = g.edge_array()
+        intra = labels[us] == labels[vs]
+        internal_deg = np.bincount(
+            np.concatenate([us[intra], vs[intra]]), minlength=g.n
+        )
+        sizes = np.bincount(labels)
+        assert np.all(internal_deg <= sizes[labels] - 1 + 1)  # +1: merged dup slack
+
+    def test_vectorized_deterministic(self):
+        a = lfr_graph(400, seed=3)
+        b = lfr_graph(400, seed=3)
+        assert a.graph == b.graph
+        assert np.array_equal(a.ground_truth, b.ground_truth)
+        assert a.mu_realized == b.mu_realized

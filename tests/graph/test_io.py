@@ -8,8 +8,11 @@ import pytest
 from repro.graph import GraphBuilder, from_edges, generators
 from repro.graph.io import (
     load,
+    load_npz,
     read_edgelist,
+    read_edgelist_chunked,
     read_metis,
+    save_npz,
     write_edgelist,
     write_metis,
 )
@@ -77,12 +80,94 @@ class TestEdgeList:
         assert g.n == 0
 
 
+class TestChunkedEdgeList:
+    def test_matches_legacy_reader(self, tmp_path):
+        g = generators.erdos_renyi(80, 0.1, seed=9)
+        path = tmp_path / "edges.txt"
+        write_edgelist(g, path)
+        assert read_edgelist_chunked(path) == read_edgelist(path) == g
+
+    def test_small_blocks_cross_line_boundaries(self, tmp_path):
+        g = generators.erdos_renyi(60, 0.12, seed=3)
+        path = tmp_path / "edges.txt"
+        write_edgelist(g, path)
+        # Tiny blocks force mid-line reads; _iter_line_blocks must realign.
+        assert read_edgelist_chunked(path, block_bytes=7) == g
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n0 1\n# mid\n1 2\n"
+        assert read_edgelist_chunked(io.StringIO(text)).m == 2
+
+    def test_ragged_block_falls_back(self):
+        # Mixed 2- and 3-column lines defeat np.loadtxt for the block;
+        # the per-line fallback must parse it identically.
+        text = "0 1\n1 2 2.5\n2 3\n"
+        g = read_edgelist_chunked(io.StringIO(text))
+        assert g.m == 3
+        assert g.weight_between(1, 2) == pytest.approx(2.5)
+
+    def test_empty(self):
+        assert read_edgelist_chunked(io.StringIO("")).n == 0
+
+    def test_dtype_policy_forwarded(self, tmp_path):
+        g = generators.erdos_renyi(50, 0.1, seed=1)
+        path = tmp_path / "edges.txt"
+        write_edgelist(g, path)
+        lean = read_edgelist_chunked(path, dtype_policy="lean")
+        assert lean.dtype_policy == "lean"
+        assert lean.indices.dtype == np.int32
+        assert np.array_equal(lean.indices, g.indices)
+
+
+class TestNpzCache:
+    @pytest.mark.parametrize("policy", ["wide", "lean"])
+    def test_bit_exact_roundtrip(self, tmp_path, policy):
+        g = generators.rmat(8, 4, seed=2, dtype_policy=policy)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2.dtype_policy == policy
+        assert g2.name == g.name
+        for a, b in (
+            (g.indptr, g2.indptr),
+            (g.indices, g2.indices),
+            (g.weights, g2.weights),
+        ):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    def test_edgelist_to_graph_to_npz_chain(self, tmp_path):
+        # Full ingest chain: text edge list -> Graph -> .npz -> Graph,
+        # bit-identical at every hop.
+        g = generators.erdos_renyi(70, 0.1, seed=6)
+        txt = tmp_path / "edges.txt"
+        write_edgelist(g, txt)
+        parsed = read_edgelist_chunked(txt)
+        npz = tmp_path / "cache.npz"
+        save_npz(parsed, npz)
+        reloaded = load_npz(npz)
+        assert reloaded == g
+        assert reloaded.weights.dtype == g.weights.dtype
+
+    def test_policy_override_on_load(self, tmp_path):
+        g = generators.erdos_renyi(50, 0.1, seed=4)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        lean = load_npz(path, dtype_policy="lean")
+        assert lean.dtype_policy == "lean"
+        assert lean.indices.dtype == np.int32
+        assert np.array_equal(lean.indices, g.indices)
+
+
 class TestLoadDispatch:
     def test_by_extension(self, tmp_path):
         g = generators.ring(6)
         metis_path = tmp_path / "a.graph"
         edge_path = tmp_path / "a.txt"
+        npz_path = tmp_path / "a.npz"
         write_metis(g, metis_path)
         write_edgelist(g, edge_path)
+        save_npz(g, npz_path)
         assert load(metis_path) == g
         assert load(edge_path) == g
+        assert load(npz_path) == g

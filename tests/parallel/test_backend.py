@@ -187,6 +187,26 @@ def test_harness_rows_identical_across_workers(clean_pools):
         # wall_time is host seconds — the only column allowed to differ
 
 
+def test_lean_policy_halves_shared_segments():
+    # The lean dtype policy exists for exactly this: workers attach ~2x
+    # smaller segments for the same topology.
+    wide = generators.erdos_renyi(400, 0.05, seed=5)
+    lean = generators.erdos_renyi(400, 0.05, seed=5, dtype_policy="lean")
+    assert np.array_equal(wide.indices, lean.indices)
+    sg_wide = SharedGraph.create(wide)
+    sg_lean = SharedGraph.create(lean)
+    try:
+        bytes_wide = sum(shm.size for shm in sg_wide._shms)
+        bytes_lean = sum(shm.size for shm in sg_lean._shms)
+        assert bytes_lean <= 0.55 * bytes_wide
+        # And both round-trip to the exact graph they shipped.
+        assert materialize(sg_lean).dtype_policy == "lean"
+        assert materialize(sg_lean) == lean
+    finally:
+        sg_wide.release()
+        sg_lean.release()
+
+
 def _plp_factory(seed: int) -> PLP:
     return PLP(threads=4, seed=seed)
 

@@ -101,3 +101,32 @@ class TestInfoAndGenerate:
         out = tmp_path / "g.metis"
         main(["generate", "planted", "--n", "100", "--out", str(out)])
         assert main(["info", str(out)]) == 0
+
+    def test_generate_npz_cache(self, tmp_path):
+        from repro.graph.io import load_npz
+
+        out = tmp_path / "g.npz"
+        rc = main(
+            [
+                "generate",
+                "rmat",
+                "--scale",
+                "8",
+                "--dtype-policy",
+                "lean",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        g = load_npz(out)
+        assert g.dtype_policy == "lean"
+        assert g.indices.dtype == np.int32
+        assert g.n == 256
+
+    def test_detect_on_npz_with_policy(self, tmp_path, capsys):
+        gen = tmp_path / "g.npz"
+        main(["generate", "planted", "--n", "200", "--out", str(gen)])
+        rc = main(["detect", str(gen), "-a", "plm", "--dtype-policy", "lean"])
+        assert rc == 0
+        assert "modularity" in capsys.readouterr().out
