@@ -624,9 +624,10 @@ def validate_document(doc: dict) -> list[str]:
     problems: list[str] = []
     if doc.get("schema") != SCHEMA:
         problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
-    if doc.get("kind") not in ("kernels", "e2e", "scale"):
+    if doc.get("kind") not in ("kernels", "e2e", "scale", "serve"):
         problems.append(
-            f"kind must be 'kernels', 'e2e' or 'scale', got {doc.get('kind')!r}"
+            "kind must be 'kernels', 'e2e', 'scale' or 'serve', "
+            f"got {doc.get('kind')!r}"
         )
     if not isinstance(doc.get("host"), dict):
         problems.append("host info missing")

@@ -7,11 +7,17 @@ community detection on a network file — without writing Python::
     repro compare graph.metis --threads 32 --runs 3
     repro info graph.metis
     repro generate lfr --n 5000 --mu 0.3 --out bench.metis
+    repro serve --socket /tmp/repro.sock --graph web=web.metis
+    repro client --socket /tmp/repro.sock detect --graph web
 
 ``detect`` writes one community id per line (node order) to ``--out``
 and prints modularity plus simulated timing; ``compare`` runs the full
 portfolio and prints the speed/quality table; ``info`` prints the Table I
-row for a graph file; ``generate`` produces synthetic instances.
+row for a graph file; ``generate`` produces synthetic instances;
+``serve`` starts the long-lived detection service of :mod:`repro.serve`
+and ``client`` talks to it. Detectors are built through
+:func:`repro.community.make_detector`, the same factory the server uses,
+so a served detection is byte-identical to the CLI one.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.bench.report import format_table
-from repro.community import CEL, CLU, CNM, EPP, PLM, PLMR, PLP, RG, Louvain
+from repro.community import ALGORITHM_NAMES, make_detector
 from repro.graph import io as graph_io
 from repro.parallel.machine import PAPER_MACHINE
 from repro.parallel.runtime import ParallelRuntime
@@ -37,22 +43,17 @@ from repro.partition.quality import coverage, modularity
 
 __all__ = ["main", "build_parser"]
 
-ALGORITHMS = {
-    "plp": lambda args: PLP(threads=args.threads, seed=args.seed),
-    "plm": lambda args: PLM(threads=args.threads, gamma=args.gamma, seed=args.seed),
-    "plmr": lambda args: PLMR(threads=args.threads, gamma=args.gamma, seed=args.seed),
-    "epp": lambda args: EPP(
+
+def _detector_from_args(name: str, args, seed: int | None = None):
+    """Build a detector from parsed CLI args via the shared factory."""
+    return make_detector(
+        name,
         threads=args.threads,
+        gamma=args.gamma,
         ensemble_size=args.ensemble_size,
-        seed=args.seed,
+        seed=args.seed if seed is None else seed,
         workers=getattr(args, "workers", None),
-    ),
-    "louvain": lambda args: Louvain(gamma=args.gamma, seed=args.seed),
-    "clu": lambda args: CLU(threads=args.threads, seed=args.seed),
-    "cel": lambda args: CEL(threads=args.threads, seed=args.seed),
-    "cnm": lambda args: CNM(seed=args.seed),
-    "rg": lambda args: RG(seed=args.seed),
-}
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", help="detect communities in a graph file")
     detect.add_argument("graph", help="METIS (.graph/.metis) or edge-list file")
     detect.add_argument(
-        "--algorithm", "-a", choices=sorted(ALGORITHMS), default="plm"
+        "--algorithm", "-a", choices=list(ALGORITHM_NAMES), default="plm"
     )
     detect.add_argument("--threads", "-t", type=int, default=32)
     detect.add_argument(
@@ -122,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--algorithms",
         default="plp,epp,plm,plmr",
-        help="comma-separated subset of: " + ",".join(sorted(ALGORITHMS)),
+        help="comma-separated subset of: " + ",".join(ALGORITHM_NAMES),
     )
 
     info = sub.add_parser("info", help="structural summary of a graph file")
@@ -149,7 +150,89 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="output file; .npz writes the binary CSR cache, else METIS",
     )
+
+    serve = sub.add_parser(
+        "serve", help="start the long-lived detection service"
+    )
+    _endpoint_args(serve)
+    serve.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=None,
+        help="process-pool workers (default: REPRO_WORKERS or 1)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=4,
+        help="graphs kept shm-resident at once (LRU beyond this)",
+    )
+    serve.add_argument(
+        "--cache-dir", help="directory for evicted-graph .npz spills"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="queued jobs before the server answers busy",
+    )
+    serve.add_argument(
+        "--result-cache", type=int, default=256, help="cached payload count"
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=8, help="jobs per pool submission"
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=300.0, help="default per-request timeout (s)"
+    )
+    serve.add_argument(
+        "--graph",
+        "-g",
+        action="append",
+        default=[],
+        metavar="ID=PATH",
+        help="preregister a graph (repeatable); loading is lazy",
+    )
+
+    client = sub.add_parser("client", help="talk to a running detection server")
+    _endpoint_args(client)
+    client_sub = client.add_subparsers(dest="client_op", required=True)
+    client_sub.add_parser("ping", help="round-trip check")
+    c_load = client_sub.add_parser("load", help="register a graph on the server")
+    c_load.add_argument("graph_id")
+    c_load.add_argument("path", help="graph file on the *server's* filesystem")
+    for op in ("pin", "evict", "info"):
+        p = client_sub.add_parser(op)
+        p.add_argument("graph_id")
+    client_sub.add_parser("list", help="registry contents")
+    c_detect = client_sub.add_parser("detect", help="run one detection")
+    c_detect.add_argument("graph_id")
+    c_detect.add_argument(
+        "--algorithm", "-a", choices=list(ALGORITHM_NAMES), default="plm"
+    )
+    c_detect.add_argument("--seed", type=int, default=0)
+    c_detect.add_argument(
+        "--params", default=None, help='JSON dict, e.g. \'{"gamma": 1.5}\''
+    )
+    c_detect.add_argument("--timeout", type=float, default=None)
+    c_detect.add_argument("--out", "-o", help="write community ids, one per line")
+    c_compare = client_sub.add_parser("compare", help="portfolio on one graph")
+    c_compare.add_argument("graph_id")
+    c_compare.add_argument("--algorithms", default="plp,plm")
+    c_compare.add_argument("--seed", type=int, default=0)
+    c_compare.add_argument("--params", default=None, help="JSON dict")
+    client_sub.add_parser("stats", help="server/queue/registry counters")
+    client_sub.add_parser("shutdown", help="stop the server")
     return parser
+
+
+def _endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", "-s", help="unix socket path (preferred on one host)"
+    )
+    parser.add_argument("--host", help="TCP host (with --port)")
+    parser.add_argument("--port", type=int, default=0, help="TCP port")
 
 
 def _load_graph(path: str, dtype_policy: str = "wide"):
@@ -170,7 +253,7 @@ def _load_graph(path: str, dtype_policy: str = "wide"):
 
 def _cmd_detect(args) -> int:
     graph = _load_graph(args.graph, args.dtype_policy)
-    detector = ALGORITHMS[args.algorithm](args)
+    detector = _detector_from_args(args.algorithm, args)
     tracer = Tracer() if args.trace else None
     runtime = ParallelRuntime(
         PAPER_MACHINE,
@@ -257,7 +340,7 @@ def _print_telemetry(timing) -> None:
 def _cmd_compare(args) -> int:
     graph = graph_io.load(args.graph)
     names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
-    unknown = [a for a in names if a not in ALGORITHMS]
+    unknown = [a for a in names if a not in ALGORITHM_NAMES]
     if unknown:
         print(f"unknown algorithms: {', '.join(unknown)}", file=sys.stderr)
         return 2
@@ -266,13 +349,7 @@ def _cmd_compare(args) -> int:
     for name in names:
         mods, times, ks = [], [], []
         for run in range(args.runs):
-            class _Shim:  # pass per-run seed through the factory signature
-                pass
-
-            shim = _Shim()
-            shim.__dict__.update(vars(args))
-            shim.seed = args.seed + run
-            detector = ALGORITHMS[name](shim)
+            detector = _detector_from_args(name, args, seed=args.seed + run)
             result = detector.run(graph)
             mods.append(modularity(graph, result.partition))
             times.append(result.timing.total)
@@ -343,6 +420,101 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import DetectionServer
+
+    server = DetectionServer(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        capacity=args.capacity,
+        cache_dir=args.cache_dir,
+        max_pending=args.max_pending,
+        cache_size=args.result_cache,
+        batch_max=args.batch_max,
+        default_timeout=args.timeout,
+        log=lambda msg: print(f"[serve] {msg}", flush=True),
+    )
+    for spec in args.graph:
+        graph_id, sep, path = spec.partition("=")
+        if not sep:
+            print(f"bad --graph spec {spec!r} (want ID=PATH)", file=sys.stderr)
+            return 2
+        server.registry.add(graph_id, path)
+        print(f"[serve] registered {graph_id!r} <- {path}", flush=True)
+
+    async def _run() -> None:
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    if args.socket is None and args.host is None:
+        print("need --socket or --host/--port", file=sys.stderr)
+        return 2
+    params = None
+    if getattr(args, "params", None):
+        params = json.loads(args.params)
+    try:
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port or None
+        ) as client:
+            op = args.client_op
+            if op == "ping":
+                print(json.dumps(client.ping()))
+            elif op == "load":
+                print(json.dumps(client.load(args.graph_id, args.path)))
+            elif op in ("pin", "evict", "info"):
+                print(json.dumps(getattr(client, op)(args.graph_id)))
+            elif op == "list":
+                print(json.dumps(client.list(), indent=2))
+            elif op == "detect":
+                result = client.detect(
+                    args.graph_id,
+                    algorithm=args.algorithm,
+                    params=params,
+                    seed=args.seed,
+                    timeout=args.timeout,
+                )
+                labels = result.pop("labels")
+                print(json.dumps(result))
+                if args.out:
+                    np.savetxt(args.out, labels, fmt="%d")
+                    print(f"wrote {args.out}")
+            elif op == "compare":
+                names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+                rows = client.compare(args.graph_id, names, params=params,
+                                      seed=args.seed)
+                print(json.dumps(rows, indent=2))
+            elif op == "stats":
+                print(json.dumps(client.stats(), indent=2))
+            elif op == "shutdown":
+                print(json.dumps(client.shutdown()))
+    except ServeError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, FileNotFoundError) as exc:
+        print(f"cannot reach server: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -351,6 +523,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "info": _cmd_info,
         "generate": _cmd_generate,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     return handlers[args.command](args)
 

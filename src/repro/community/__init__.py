@@ -18,6 +18,11 @@ the RG-based ensembles :class:`CGGC` / :class:`CGGCi`.
 
 from repro.community.base import CommunityDetector, DetectionResult
 from repro.community.dplp import DynamicPLP
+from repro.community.factory import (
+    ALGORITHM_NAMES,
+    canonical_params,
+    make_detector,
+)
 from repro.community.overlapping import OLP, OverlappingResult
 from repro.community.plp import PLP
 from repro.community.plm import PLM, PLMR
@@ -32,6 +37,9 @@ from repro.community.baselines.cggc import CGGC, CGGCi
 __all__ = [
     "CommunityDetector",
     "DetectionResult",
+    "ALGORITHM_NAMES",
+    "make_detector",
+    "canonical_params",
     "PLP",
     "DynamicPLP",
     "OLP",

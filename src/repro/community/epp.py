@@ -23,7 +23,12 @@ import numpy as np
 from repro.community.base import CommunityDetector
 from repro.graph.coarsening import coarsen, prolong
 from repro.graph.csr import Graph
-from repro.parallel.backend import materialize, resolve_backend
+from repro.parallel.backend import (
+    default_workers,
+    materialize,
+    resolve_backend,
+    shm_degradation,
+)
 from repro.parallel.runtime import ParallelRuntime
 from repro.partition.hashing import combine_hashing
 from repro.partition.quality import modularity
@@ -216,6 +221,13 @@ class EPP(CommunityDetector):
             labels = prolong(labels, mapping)
             runtime.charge(float(mapping.fine_n), parallel=True)
         info["rounds_done"] = rounds_done
+        requested = default_workers() if self.workers is None else self.workers
+        degraded = shm_degradation()
+        if requested > 1 and degraded is not None:
+            # The pool was requested but shared memory failed its probe,
+            # so the ensemble silently ran serial — say so instead of
+            # letting the degradation pass unnoticed.
+            info["backend_degraded"] = degraded
         return labels, info
 
     @staticmethod

@@ -1,0 +1,95 @@
+"""Canonical detector construction from ``(name, params)`` pairs.
+
+The CLI's ``detect`` command and the detection server both build detectors
+from textual requests. Routing both through :func:`make_detector` is what
+makes the server's byte-identity guarantee hold *by construction*: a
+served ``(algorithm, params, seed)`` request instantiates exactly the
+detector a direct CLI call would, so equal inputs produce equal labels.
+
+:func:`canonical_params` is the companion normalizer: it applies the
+defaults and drops host-only knobs (``workers`` changes wall-clock, never
+results), so the server's result cache keys requests that *mean* the same
+thing to the same entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.community.base import CommunityDetector
+from repro.community.baselines.cel import CEL
+from repro.community.baselines.clu import CLU
+from repro.community.baselines.cnm import CNM
+from repro.community.baselines.rg import RG
+from repro.community.epp import EPP
+from repro.community.louvain import Louvain
+from repro.community.plm import PLM, PLMR
+from repro.community.plp import PLP
+
+__all__ = ["ALGORITHM_NAMES", "DEFAULT_PARAMS", "make_detector", "canonical_params"]
+
+#: Every tunable a detector request may carry, with the CLI's defaults.
+DEFAULT_PARAMS: dict[str, Any] = {
+    "threads": 32,
+    "gamma": 1.0,
+    "ensemble_size": 4,
+    "seed": 0,
+    "workers": None,
+}
+
+#: Parameters that affect only *where* work runs, never the result — they
+#: are excluded from result-cache keys.
+HOST_ONLY_PARAMS = frozenset({"workers"})
+
+_BUILDERS = {
+    "plp": lambda p: PLP(threads=p["threads"], seed=p["seed"]),
+    "plm": lambda p: PLM(threads=p["threads"], gamma=p["gamma"], seed=p["seed"]),
+    "plmr": lambda p: PLMR(threads=p["threads"], gamma=p["gamma"], seed=p["seed"]),
+    "epp": lambda p: EPP(
+        threads=p["threads"],
+        ensemble_size=p["ensemble_size"],
+        seed=p["seed"],
+        workers=p["workers"],
+    ),
+    "louvain": lambda p: Louvain(gamma=p["gamma"], seed=p["seed"]),
+    "clu": lambda p: CLU(threads=p["threads"], seed=p["seed"]),
+    "cel": lambda p: CEL(threads=p["threads"], seed=p["seed"]),
+    "cnm": lambda p: CNM(seed=p["seed"]),
+    "rg": lambda p: RG(seed=p["seed"]),
+}
+
+#: The requestable algorithm names, sorted (CLI choices, server registry).
+ALGORITHM_NAMES = tuple(sorted(_BUILDERS))
+
+
+def make_detector(name: str, **params: Any) -> CommunityDetector:
+    """Build the detector a ``(name, params)`` request describes.
+
+    Unknown names and unknown parameters raise ``ValueError`` (a server
+    must reject them loudly, not guess); omitted parameters take the CLI
+    defaults, so the same request text always builds the same detector.
+    """
+    if name not in _BUILDERS:
+        raise ValueError(
+            f"unknown algorithm {name!r} (choose from {', '.join(ALGORITHM_NAMES)})"
+        )
+    unknown = set(params) - set(DEFAULT_PARAMS)
+    if unknown:
+        raise ValueError(f"unknown detector parameters: {sorted(unknown)}")
+    merged = {**DEFAULT_PARAMS, **params}
+    return _BUILDERS[name](merged)
+
+
+def canonical_params(params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Normalize a request's parameter dict for result-cache keying.
+
+    Applies the defaults and strips host-only knobs, so two requests that
+    produce identical labels (e.g. differing only in ``workers``) share a
+    cache entry. Raises ``ValueError`` on unknown keys.
+    """
+    params = dict(params or {})
+    unknown = set(params) - set(DEFAULT_PARAMS)
+    if unknown:
+        raise ValueError(f"unknown detector parameters: {sorted(unknown)}")
+    merged = {**DEFAULT_PARAMS, **params}
+    return {k: v for k, v in merged.items() if k not in HOST_ONLY_PARAMS}

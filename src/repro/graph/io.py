@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io as _stdio
 import os
+import warnings
 from typing import Iterator, TextIO
 
 import numpy as np
@@ -205,15 +206,29 @@ def read_edgelist_chunked(
     ws_chunks: list[np.ndarray] = []
     try:
         for block in _iter_line_blocks(fh, block_bytes):
+            if "\r" in block:
+                # Untranslated CRLF (or lone-CR) streams: normalize so the
+                # tokenizers below only ever see \n. Blocks end on a line
+                # boundary, so a \r\n pair never straddles two blocks and
+                # the extra blank line from the doubled separator is
+                # skipped like any other.
+                block = block.replace("\r", "\n")
             try:
-                arr = np.loadtxt(
-                    _stdio.StringIO(block), comments=comments, ndmin=2
-                )
+                with warnings.catch_warnings():
+                    # An all-comment/blank block is valid input, not a
+                    # "loadtxt: input contained no data" warning.
+                    warnings.simplefilter("ignore", UserWarning)
+                    arr = np.loadtxt(
+                        _stdio.StringIO(block), comments=comments, ndmin=2
+                    )
             except ValueError:
                 rows = [
-                    line.split()
+                    tokens
                     for line in block.splitlines()
-                    if line.strip() and not line.lstrip().startswith(comments)
+                    # Strip trailing inline comments exactly as loadtxt
+                    # does on the fast path, then tokenize what is left.
+                    for tokens in [line.split(comments, 1)[0].split()]
+                    if tokens
                 ]
                 if not rows:
                     continue

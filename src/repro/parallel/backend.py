@@ -62,6 +62,7 @@ __all__ = [
     "resolve_backend",
     "default_workers",
     "shared_memory_available",
+    "shm_degradation",
     "materialize",
     "shutdown_all",
 ]
@@ -352,9 +353,26 @@ class ProcessPoolBackend(ExecutionBackend):
         self._pool: ProcessPoolExecutor | None = None
         self._shared: dict[int, SharedGraph] = {}
         self._keepalive: dict[int, Graph] = {}
+        self._closed = False
+        #: Times a broken pool was replaced mid-:meth:`map` (diagnostics;
+        #: the detection server reports it under ``stats.backend``).
+        self.restarts = 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` ran more recently than any use.
+
+        A closed backend is *revivable* — the next :meth:`map` or
+        :meth:`share_graph` lazily rebuilds the pool and segments — but
+        :func:`resolve_backend` never hands out a closed backend: its
+        shared handles were already released, so cached callers would get
+        dead segments.
+        """
+        return self._closed
 
     # -- graph registry -------------------------------------------------
     def share_graph(self, graph: Graph) -> SharedGraph:
+        self._closed = False
         handle = self._shared.get(id(graph))
         if handle is None or handle.closed:
             handle = SharedGraph.create(graph)
@@ -365,6 +383,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     # -- execution ------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
+        self._closed = False
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers, initializer=_init_worker
@@ -375,8 +394,11 @@ class ProcessPoolBackend(ExecutionBackend):
         """Fan tasks out to the pool; unpicklable tasks run inline.
 
         Results (and exceptions) are delivered in submission order. If the
-        pool dies mid-flight (a worker was killed), the surviving tasks
-        are re-run inline rather than lost.
+        pool dies mid-flight (a worker was killed), it is restarted *once*
+        and the surviving tasks are resubmitted to the fresh pool — a
+        single dead worker must not degrade the rest of the batch to one
+        core. Only if the fresh pool breaks too do the remaining tasks
+        fall back to inline serial execution.
         """
         slots: list[Future | _InlineResult] = []
         pending: dict[int, tuple] = {}
@@ -387,12 +409,27 @@ class ProcessPoolBackend(ExecutionBackend):
             else:
                 slots.append(_InlineResult(fn, task))
         results: list = []
+        restarted = False
         for i, slot in enumerate(slots):
             try:
                 results.append(slot.result())
+                continue
             except BrokenProcessPool:
                 self._discard_pool()
-                results.append(_InlineResult(fn, pending[i]).result())
+            if not restarted:
+                # First breakage: resubmit every not-yet-collected pool
+                # task (this one included) on a fresh pool.
+                restarted = True
+                self.restarts += 1
+                for j in range(i, len(slots)):
+                    if j in pending and isinstance(slots[j], Future):
+                        slots[j] = self._ensure_pool().submit(fn, *pending[j])
+                try:
+                    results.append(slots[i].result())
+                    continue
+                except BrokenProcessPool:
+                    self._discard_pool()
+            results.append(_InlineResult(fn, pending[i]).result())
         return results
 
     def _discard_pool(self) -> None:
@@ -409,6 +446,12 @@ class ProcessPoolBackend(ExecutionBackend):
             handle.release()
         self._shared.clear()
         self._keepalive.clear()
+        self._closed = True
+        # Evict from the resolver cache: a later resolve_backend(n) must
+        # hand out a backend whose shared handles are alive, not this
+        # one's released segments (the context-manager-then-resolve bug).
+        if _POOLS.get(self.workers) is self:
+            del _POOLS[self.workers]
 
 
 # ----------------------------------------------------------------------
@@ -416,23 +459,48 @@ class ProcessPoolBackend(ExecutionBackend):
 # ----------------------------------------------------------------------
 _SERIAL = SerialBackend()
 _POOLS: dict[int, ProcessPoolBackend] = {}
+#: ``True`` once a probe succeeded (sticky); ``None`` when unprobed *or*
+#: the last probe failed — failures are treated as transient (``/dev/shm``
+#: momentarily full, a racing tmpfs cleaner) and re-probed on the next
+#: resolve instead of pinning the process to serial forever.
 _SHM_AVAILABLE: bool | None = None
+_SHM_LAST_ERROR: str | None = None
 
 
 def shared_memory_available() -> bool:
-    """Whether POSIX/Windows shared memory actually works here (cached)."""
-    global _SHM_AVAILABLE
-    if _SHM_AVAILABLE is None:
-        try:
-            from multiprocessing import shared_memory
+    """Whether POSIX/Windows shared memory actually works here.
 
-            probe = shared_memory.SharedMemory(create=True, size=1)
-            probe.close()
-            probe.unlink()
-            _SHM_AVAILABLE = True
-        except Exception:
-            _SHM_AVAILABLE = False
-    return _SHM_AVAILABLE
+    A successful probe is cached for the process lifetime; a *failed*
+    probe is not — the next call probes again, so a transient failure
+    degrades only the requests issued while it lasts. The failure reason
+    is kept in :func:`shm_degradation` until shared memory recovers.
+    """
+    global _SHM_AVAILABLE, _SHM_LAST_ERROR
+    if _SHM_AVAILABLE:
+        return True
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe.close()
+        probe.unlink()
+        _SHM_AVAILABLE = True
+        _SHM_LAST_ERROR = None
+    except Exception as exc:
+        _SHM_AVAILABLE = None  # transient: re-probe on the next call
+        _SHM_LAST_ERROR = f"shared memory unavailable: {type(exc).__name__}: {exc}"
+        return False
+    return True
+
+
+def shm_degradation() -> str | None:
+    """Why the last shared-memory probe failed (``None`` when healthy).
+
+    Consumers that silently fell back to serial surface this — EPP puts
+    it in ``result.info["backend_degraded"]``, the detection server logs
+    it and reports it under ``stats.backend``.
+    """
+    return _SHM_LAST_ERROR
 
 
 def default_workers() -> int:
@@ -460,7 +528,7 @@ def resolve_backend(workers: int | None = None) -> ExecutionBackend:
     ):
         return _SERIAL
     backend = _POOLS.get(count)
-    if backend is None:
+    if backend is None or backend.closed:
         backend = ProcessPoolBackend(count)
         _POOLS[count] = backend
     return backend

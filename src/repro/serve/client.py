@@ -1,0 +1,171 @@
+"""Blocking client for the detection server (what ``repro client`` wraps).
+
+A thin line-protocol wrapper over a unix or TCP socket: one
+:class:`ServeClient` is one connection, requests are serialized on it in
+order. Run several clients (threads or processes) for concurrency — the
+server multiplexes them through its job queue.
+
+>>> with ServeClient(socket_path="/tmp/repro.sock") as client:
+...     client.load("web", "web.metis")
+...     result = client.detect("web", algorithm="plm", seed=0)
+...     result["labels"]          # np.ndarray, byte-identical to detect()
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.serve.protocol import decode_labels, dumps_line, loads_line
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the server.
+
+    ``error_type`` mirrors the wire field: ``bad_request``, ``not_found``,
+    ``busy`` (backpressure — retry later), ``timeout``, ``internal``.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"[{error_type}] {message}")
+        self.error_type = error_type
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.DetectionServer`."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float = 600.0,
+    ) -> None:
+        if socket_path is None and (host is None or port is None):
+            raise ValueError("need socket_path or host+port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- connection -----------------------------------------------------
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw request ----------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request; return its ``result`` or raise ServeError."""
+        self.connect()
+        assert self._file is not None
+        message = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        self._file.write(dumps_line(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = loads_line(line)
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ServeError(err.get("type", "internal"), err.get("message", "?"))
+        return response.get("result", {})
+
+    # -- typed helpers --------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def load(self, graph_id: str, path: str) -> dict[str, Any]:
+        """Register a graph file on the *server's* filesystem."""
+        return self.request("load", graph=graph_id, path=path)
+
+    def pin(self, graph_id: str) -> dict[str, Any]:
+        return self.request("pin", graph=graph_id)
+
+    def evict(self, graph_id: str) -> dict[str, Any]:
+        return self.request("evict", graph=graph_id)
+
+    def list(self) -> list[dict[str, Any]]:
+        return self.request("list")["graphs"]
+
+    def info(self, graph_id: str) -> dict[str, Any]:
+        return self.request("info", graph=graph_id)
+
+    def detect(
+        self,
+        graph_id: str,
+        algorithm: str = "plm",
+        params: dict[str, Any] | None = None,
+        seed: int = 0,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Run (or fetch from cache) one detection; labels come back as
+        an ndarray byte-identical to a direct ``detect()`` call."""
+        result = self.request(
+            "detect",
+            graph=graph_id,
+            algorithm=algorithm,
+            params=params,
+            seed=seed,
+            timeout=timeout,
+        )
+        result["labels"] = decode_labels(result["labels"])
+        return result
+
+    def compare(
+        self,
+        graph_id: str,
+        algorithms: list[str],
+        params: dict[str, Any] | None = None,
+        seed: int = 0,
+        timeout: float | None = None,
+    ) -> list[dict[str, Any]]:
+        result = self.request(
+            "compare",
+            graph=graph_id,
+            algorithms=algorithms,
+            params=params,
+            seed=seed,
+            timeout=timeout,
+        )
+        return result["rows"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")

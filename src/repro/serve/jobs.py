@@ -1,0 +1,302 @@
+"""Async job queue: many clients in, one persistent process pool out.
+
+The queue is the routing layer between the asyncio protocol handlers and
+the blocking :class:`~repro.parallel.backend.ProcessPoolBackend`:
+
+* **Bounded backpressure** — at most ``max_pending`` jobs queue; past
+  that, :meth:`submit` raises :class:`QueueFull` immediately instead of
+  letting latency grow without bound (the server answers ``busy``).
+* **Coalescing** — identical in-flight requests (same cache key) share
+  one job and one future; the work runs once.
+* **Result cache** — completed payloads are kept in a bounded LRU keyed
+  on ``(graph_id, algorithm, canonical params, seed)``; repeats are
+  answered without touching the pool. Detection is deterministic in that
+  key, so a cached answer is byte-identical to a fresh one.
+* **Micro-batching** — the dispatcher drains up to ``batch_max`` queued
+  jobs and hands them to ``backend.map`` as one submission, so pool
+  round-trips amortize when traffic bursts.
+* **Timeout & cancellation** — :meth:`submit` enforces a per-request
+  timeout; when the last waiter gives up on a job that has not started,
+  the job is cancelled in place and never runs.
+
+The dispatcher runs detection in a worker thread (``run_in_executor``),
+so the event loop keeps serving pings and stats while the pool crunches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+from collections import OrderedDict
+from typing import Any
+
+from repro.community.factory import canonical_params, make_detector
+from repro.parallel.backend import materialize, resolve_backend
+from repro.serve.protocol import cache_key, encode_labels
+from repro.serve.registry import GraphRegistry
+
+__all__ = ["JobQueue", "JobTimeout", "QueueFull", "detect_payload"]
+
+
+class QueueFull(RuntimeError):
+    """The bounded job queue rejected a request (backpressure)."""
+
+
+class JobTimeout(TimeoutError):
+    """A request's per-request timeout elapsed before its job finished."""
+
+
+def detect_payload(handle, algorithm: str, params: dict, seed: int) -> dict:
+    """Run one detection and build its wire payload (pool task function).
+
+    Module-level and pure in ``(graph bytes, algorithm, params, seed)``:
+    it runs identically inline (serial backend, executor thread) and in a
+    pool worker (``handle`` arrives as a zero-copy ``SharedGraph``), so
+    where it executes cannot change the labels.
+    """
+    from repro.partition.quality import coverage, modularity
+
+    graph = materialize(handle)
+    detector = make_detector(algorithm, **params)
+    result = detector.run(graph)
+    partition = result.partition
+    return {
+        "labels": encode_labels(partition.labels),
+        "algorithm": detector.name,
+        "seed": int(seed),
+        "k": int(partition.k),
+        "modularity": float(modularity(graph, partition)),
+        "coverage": float(coverage(graph, partition)),
+        "sim_time": float(result.timing.total),
+        "graph": {"name": graph.name, "n": int(graph.n), "m": int(graph.m)},
+    }
+
+
+def _detect_payload_safe(handle, algorithm, params, seed) -> dict:
+    """Exception-isolating wrapper: one bad job must not sink its batch."""
+    try:
+        return {"ok": True, "payload": detect_payload(handle, algorithm, params, seed)}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "trace": traceback.format_exc(limit=8),
+        }
+
+
+class _Job:
+    __slots__ = ("key", "graph_id", "algorithm", "params", "seed", "future",
+                 "waiters", "started", "cancelled")
+
+    def __init__(self, key, graph_id, algorithm, params, seed, future):
+        self.key = key
+        self.graph_id = graph_id
+        self.algorithm = algorithm
+        self.params = params
+        self.seed = seed
+        self.future = future
+        self.waiters = 0
+        self.started = False
+        self.cancelled = False
+
+
+class JobQueue:
+    """Batched, cached, backpressured front end over the process pool."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        workers: int | None = None,
+        max_pending: int = 64,
+        cache_size: int = 256,
+        batch_max: int = 8,
+        default_timeout: float = 300.0,
+    ) -> None:
+        self.registry = registry
+        self.workers = workers
+        self.max_pending = int(max_pending)
+        self.cache_size = int(cache_size)
+        self.batch_max = max(1, int(batch_max))
+        self.default_timeout = float(default_timeout)
+        self._queue: asyncio.Queue[_Job] | None = None
+        self._inflight: dict[str, _Job] = {}
+        self._cache: OrderedDict[str, dict] = OrderedDict()
+        self._dispatcher: asyncio.Task | None = None
+        self.stats: dict[str, int] = {
+            "jobs": 0,
+            "batches": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "coalesced": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "cancelled": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Create the bounded queue and start the dispatcher task."""
+        if self._dispatcher is not None:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        self._dispatcher = asyncio.create_task(self._drain(), name="jobqueue-drain")
+
+    async def close(self) -> None:
+        """Stop dispatching; fail every job that has not completed."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for job in list(self._inflight.values()):
+            if not job.future.done():
+                job.future.set_exception(RuntimeError("job queue closed"))
+        self._inflight.clear()
+
+    # -- submission -----------------------------------------------------
+    async def submit(
+        self,
+        graph_id: str,
+        algorithm: str,
+        params: dict[str, Any] | None = None,
+        seed: int = 0,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Queue one detect request; return its payload (maybe cached).
+
+        Raises :class:`QueueFull` under backpressure, :class:`JobTimeout`
+        when the per-request deadline passes, ``KeyError`` for unknown
+        graphs and ``ValueError`` for bad algorithm/params — all before
+        any pool work happens where possible.
+        """
+        if self._queue is None:
+            raise RuntimeError("JobQueue.start() was never awaited")
+        if graph_id not in self.registry:
+            raise KeyError(f"unknown graph {graph_id!r}")
+        # The request-level seed folds into the canonical params (an
+        # explicit params["seed"] wins), so the detector, the cache key
+        # and the coalescing key all see exactly one seed.
+        merged = dict(params or {})
+        merged.setdefault("seed", int(seed))
+        params = canonical_params(merged)  # ValueError on unknown knobs
+        seed = int(params["seed"])
+        make_detector(algorithm)  # ValueError on unknown algorithm
+        key = cache_key(graph_id, algorithm, params, seed)
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats["cache_hits"] += 1
+            return {**cached, "cached": True}
+        self.stats["cache_misses"] += 1
+
+        job = self._inflight.get(key)
+        if job is not None and not job.cancelled:
+            self.stats["coalesced"] += 1
+        else:
+            future = asyncio.get_running_loop().create_future()
+            # Someone always observes the outcome (the cache writer runs
+            # first); this silences "exception never retrieved" should
+            # every waiter abandon a started job.
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            job = _Job(key, graph_id, algorithm, params, seed, future)
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.stats["rejected"] += 1
+                raise QueueFull(
+                    f"job queue full ({self.max_pending} pending); retry later"
+                ) from None
+            self._inflight[key] = job
+            self.stats["jobs"] += 1
+
+        job.waiters += 1
+        try:
+            payload = await asyncio.wait_for(
+                asyncio.shield(job.future), timeout or self.default_timeout
+            )
+        except (asyncio.TimeoutError, asyncio.CancelledError) as exc:
+            job.waiters -= 1
+            if job.waiters <= 0 and not job.started:
+                # Nobody wants it and it never ran: cancel in place. The
+                # dispatcher skips cancelled jobs when it dequeues them.
+                job.cancelled = True
+                if self._inflight.get(key) is job:
+                    del self._inflight[key]
+                self.stats["cancelled"] += 1
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            self.stats["timeouts"] += 1
+            raise JobTimeout(
+                f"request timed out after {timeout or self.default_timeout:g}s"
+            ) from None
+        job.waiters -= 1
+        return {**payload, "cached": False}
+
+    # -- dispatching ----------------------------------------------------
+    async def _drain(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            batch = [j for j in batch if not j.cancelled]
+            if not batch:
+                continue
+            for j in batch:
+                j.started = True
+            self.stats["batches"] += 1
+            outcomes = await loop.run_in_executor(None, self._run_batch, batch)
+            for j, outcome in zip(batch, outcomes):
+                if self._inflight.get(j.key) is j:
+                    del self._inflight[j.key]
+                if j.future.done():  # pragma: no cover - defensive
+                    continue
+                if outcome.get("ok"):
+                    payload = outcome["payload"]
+                    self._cache_put(j.key, payload)
+                    j.future.set_result(payload)
+                else:
+                    self.stats["errors"] += 1
+                    j.future.set_exception(
+                        RuntimeError(outcome.get("error", "detection failed"))
+                    )
+
+    def _run_batch(self, batch: list[_Job]) -> list[dict]:
+        """Blocking half of the dispatcher (runs in an executor thread):
+        pin graphs, fan the batch out to the pool, collect outcomes."""
+        backend = resolve_backend(self.workers)
+        outcomes: list[dict | None] = [None] * len(batch)
+        tasks: list[tuple] = []
+        slots: list[int] = []
+        for i, job in enumerate(batch):
+            try:
+                handle = self.registry.share(job.graph_id)
+            except Exception as exc:
+                outcomes[i] = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                continue
+            tasks.append((handle, job.algorithm, job.params, job.seed))
+            slots.append(i)
+        if tasks:
+            for i, outcome in zip(slots, backend.map(_detect_payload_safe, tasks)):
+                outcomes[i] = outcome
+        return [
+            o if o is not None else {"ok": False, "error": "internal: lost outcome"}
+            for o in outcomes
+        ]
+
+    def _cache_put(self, key: str, payload: dict) -> None:
+        self._cache[key] = payload
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)

@@ -81,6 +81,11 @@ def test_scale_kind_valid():
     assert validate_document(build_document("scale", "scale-tiny", [e])) == []
 
 
+def test_serve_kind_valid():
+    e = entry(name="serve_cold", p50_ms=12.0, p99_ms=20.0, cache_speedup=100.0)
+    assert validate_document(build_document("serve", "smoke", [e])) == []
+
+
 def test_merge_baseline_skips_changed_instance():
     # A generator RNG-stream change re-draws the instance; n/m drift and
     # wall comparisons against the old instance would be bogus.

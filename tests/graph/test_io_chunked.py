@@ -1,0 +1,148 @@
+"""Boundary conditions of the streaming edge-list reader.
+
+The detection server cold-loads graphs through
+:func:`repro.graph.io.read_edgelist_chunked`; these tests pin the cases a
+block-based parser classically gets wrong — chunk boundaries landing
+mid-token, inside comment/blank runs, CRLF line endings, and files whose
+final line has no trailing newline. Every case is checked against the
+reference per-line reader at many block sizes, including pathological
+one-byte blocks.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph.io import read_edgelist, read_edgelist_chunked
+
+EDGES = [(0, 1, 1.0), (1, 2, 2.5), (2, 3, 1.0), (0, 3, 0.5), (3, 4, 1.0)]
+
+#: Block sizes that land boundaries everywhere: mid-token, on separators,
+#: inside comment runs, exactly at line ends.
+BLOCK_SIZES = [1, 2, 3, 5, 7, 8, 11, 16, 64, 1 << 20]
+
+
+def _assert_same(text: str, block_bytes: int, **kwargs) -> None:
+    expected = read_edgelist(io.StringIO(text), name="ref")
+    got = read_edgelist_chunked(
+        io.StringIO(text), name="ref", block_bytes=block_bytes, **kwargs
+    )
+    assert got.n == expected.n, f"block_bytes={block_bytes}"
+    assert np.array_equal(got.indptr, expected.indptr)
+    assert np.array_equal(got.indices, expected.indices)
+    assert np.array_equal(got.weights, expected.weights)
+
+
+@pytest.mark.parametrize("block_bytes", BLOCK_SIZES)
+def test_chunk_boundary_mid_token(block_bytes):
+    # Multi-digit ids ensure small blocks split tokens, not just lines.
+    text = "10 21\n21 302\n302 4003\n10 4003\n"
+    _assert_same(text, block_bytes)
+
+
+@pytest.mark.parametrize("block_bytes", BLOCK_SIZES)
+def test_comment_and_blank_lines_straddle_chunks(block_bytes):
+    text = (
+        "# a header comment long enough to span several tiny blocks\n"
+        "\n"
+        "0 1\n"
+        "# interior comment\n"
+        "\n"
+        "\n"
+        "1 2 2.5\n"
+        "   \n"
+        "# trailing comment\n"
+        "2 3\n"
+    )
+    _assert_same(text, block_bytes)
+
+
+@pytest.mark.parametrize("block_bytes", BLOCK_SIZES)
+def test_no_trailing_newline(block_bytes):
+    _assert_same("0 1\n1 2\n2 3", block_bytes)
+    _assert_same("0 1", block_bytes)
+
+
+@pytest.mark.parametrize("block_bytes", BLOCK_SIZES)
+def test_crlf_from_disk(tmp_path, block_bytes):
+    # Windows-written edge lists: \r\n endings, read back via the path API
+    # (text mode translates) — must parse identically to \n endings.
+    lines = "".join(f"{u} {v} {w:g}\r\n" for u, v, w in EDGES)
+    path = tmp_path / "crlf.txt"
+    path.write_bytes(lines.encode("ascii"))
+    expected = read_edgelist(io.StringIO(lines.replace("\r\n", "\n")))
+    got = read_edgelist_chunked(path, block_bytes=block_bytes)
+    assert np.array_equal(got.indptr, expected.indptr)
+    assert np.array_equal(got.indices, expected.indices)
+    assert np.array_equal(got.weights, expected.weights)
+
+
+@pytest.mark.parametrize("block_bytes", [1, 3, 8, 1 << 20])
+def test_crlf_stream_without_translation(block_bytes):
+    # A caller handing over an untranslated stream (StringIO keeps \r\n
+    # verbatim) must get the same graph — the reader normalizes.
+    text = "0 1\r\n1 2 2.5\r\n# c\r\n2 3\r\n"
+    got = read_edgelist_chunked(io.StringIO(text), block_bytes=block_bytes)
+    expected = read_edgelist(io.StringIO(text.replace("\r\n", "\n")))
+    assert np.array_equal(got.indptr, expected.indptr)
+    assert np.array_equal(got.indices, expected.indices)
+    assert np.array_equal(got.weights, expected.weights)
+
+
+@pytest.mark.parametrize("block_bytes", [1, 4, 16, 1 << 20])
+def test_trailing_inline_comments_in_ragged_block(block_bytes):
+    # Mixed 2- and 3-column lines force the per-line fallback for the
+    # block; trailing '# ...' comments must be stripped there too, exactly
+    # as np.loadtxt strips them on the fast path.
+    text = "0 1  # unweighted\n1 2 2.5\n2 3 1.5  # weighted\n0 3\n"
+    got = read_edgelist_chunked(io.StringIO(text), block_bytes=block_bytes)
+    assert got.n == 4
+    assert got.m == 4
+    expected = read_edgelist(io.StringIO("0 1\n1 2 2.5\n2 3 1.5\n0 3\n"))
+    assert np.array_equal(got.indices, expected.indices)
+    assert np.array_equal(got.weights, expected.weights)
+
+
+@pytest.mark.parametrize("block_bytes", [1, 8, 1 << 20])
+def test_comment_only_and_empty_inputs(block_bytes):
+    for text in ("", "\n\n", "# only comments\n# nothing else\n", "   \n\t\n"):
+        graph = read_edgelist_chunked(io.StringIO(text), block_bytes=block_bytes)
+        assert graph.n == 0
+        assert graph.m == 0
+
+
+@pytest.mark.parametrize("block_bytes", [1, 7, 1 << 20])
+def test_dtype_policy_survives_chunking(block_bytes):
+    text = "0 1\n1 2\n"
+    graph = read_edgelist_chunked(
+        io.StringIO(text), block_bytes=block_bytes, dtype_policy="lean"
+    )
+    assert graph.dtype_policy == "lean"
+    assert graph.m == 2
+
+
+def test_chunked_matches_reference_on_large_mixed_file(tmp_path):
+    # A bigger randomized instance pushed through small blocks end-to-end.
+    rng = np.random.default_rng(5)
+    us = rng.integers(0, 500, size=2000)
+    vs = rng.integers(0, 500, size=2000)
+    ws = np.round(rng.random(2000), 3)
+    lines = []
+    for i, (u, v, w) in enumerate(zip(us, vs, ws)):
+        if i % 97 == 0:
+            lines.append("# checkpoint comment\n")
+        if i % 131 == 0:
+            lines.append("\n")
+        lines.append(f"{u} {v} {w}\n")
+    text = "".join(lines)
+    path = tmp_path / "big.txt"
+    path.write_text(text, encoding="ascii")
+    expected = read_edgelist(io.StringIO(text), name="big")
+    for block_bytes in (37, 256, 4096):
+        got = read_edgelist_chunked(path, name="big", block_bytes=block_bytes)
+        assert np.array_equal(got.indptr, expected.indptr)
+        assert np.array_equal(got.indices, expected.indices)
+        assert np.array_equal(got.weights, expected.weights)

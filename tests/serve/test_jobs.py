@@ -1,0 +1,181 @@
+"""JobQueue: caching, coalescing, backpressure, timeouts, error isolation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.community import make_detector
+from repro.graph import generators
+from repro.serve.jobs import JobQueue, JobTimeout, QueueFull
+from repro.serve.protocol import decode_labels
+from repro.serve.registry import GraphRegistry
+
+
+@pytest.fixture
+def graph():
+    g, _ = generators.planted_partition(200, 4, 0.3, 0.02, seed=5)
+    return g
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_queue(graph, body, **kwargs):
+    with GraphRegistry(capacity=4) as registry:
+        registry.add("g", graph)
+        queue = JobQueue(registry, workers=1, **kwargs)
+        await queue.start()
+        try:
+            return await body(queue)
+        finally:
+            await queue.close()
+
+
+def test_submit_matches_direct_detection(graph):
+    async def body(queue):
+        return await queue.submit("g", "plm", seed=3)
+
+    payload = _run(_with_queue(graph, body))
+    direct = make_detector("plm", seed=3).run(graph).partition.labels
+    served = decode_labels(payload["labels"])
+    assert served.tobytes() == direct.tobytes()
+    assert payload["cached"] is False
+
+
+def test_repeat_request_hits_cache(graph):
+    async def body(queue):
+        first = await queue.submit("g", "plp", seed=1)
+        second = await queue.submit("g", "plp", seed=1)
+        return first, second, dict(queue.stats)
+
+    first, second, stats = _run(_with_queue(graph, body))
+    assert first["cached"] is False and second["cached"] is True
+    assert stats["cache_hits"] == 1 and stats["jobs"] == 1
+    assert first["labels"] == second["labels"]  # same encoded bytes
+
+
+def test_workers_param_does_not_split_cache(graph):
+    """`workers` is host-only: both requests map to one cache entry."""
+
+    async def body(queue):
+        a = await queue.submit("g", "plm", {"workers": 1}, seed=0)
+        b = await queue.submit("g", "plm", {"workers": 4}, seed=0)
+        return a, b, dict(queue.stats)
+
+    a, b, stats = _run(_with_queue(graph, body))
+    assert b["cached"] is True
+    assert a["labels"] == b["labels"]
+
+
+def test_seed_in_params_wins_over_argument(graph):
+    async def body(queue):
+        explicit = await queue.submit("g", "plp", {"seed": 7}, seed=0)
+        plain = await queue.submit("g", "plp", seed=7)
+        return explicit, plain
+
+    explicit, plain = _run(_with_queue(graph, body))
+    assert explicit["seed"] == 7
+    assert plain["cached"] is True  # same canonical key
+    assert explicit["labels"] == plain["labels"]
+
+
+def test_concurrent_identical_requests_coalesce(graph):
+    async def body(queue):
+        payloads = await asyncio.gather(
+            *(queue.submit("g", "plm", seed=9) for _ in range(6))
+        )
+        return payloads, dict(queue.stats)
+
+    payloads, stats = _run(_with_queue(graph, body))
+    blobs = {p["labels"]["b64"] for p in payloads}
+    assert len(blobs) == 1
+    # One ran; the rest either coalesced onto it or hit the cache.
+    assert stats["jobs"] == 1
+    assert stats["coalesced"] + stats["cache_hits"] == 5
+
+
+def test_bad_algorithm_and_params_rejected_before_pool(graph):
+    async def body(queue):
+        with pytest.raises(ValueError):
+            await queue.submit("g", "krustyclust")
+        with pytest.raises(ValueError):
+            await queue.submit("g", "plm", {"frobnicate": 1})
+        with pytest.raises(KeyError):
+            await queue.submit("missing", "plm")
+        return dict(queue.stats)
+
+    stats = _run(_with_queue(graph, body))
+    assert stats["jobs"] == 0
+
+
+def test_backpressure_raises_queue_full(graph):
+    """With max_pending=1 and the dispatcher never started, the second
+    distinct submit must be rejected immediately."""
+
+    async def body():
+        with GraphRegistry(capacity=4) as registry:
+            registry.add("g", graph)
+            queue = JobQueue(registry, workers=1, max_pending=1)
+            queue._queue = asyncio.Queue(maxsize=1)  # bounded, no dispatcher
+            waiter = asyncio.ensure_future(queue.submit("g", "plm", seed=0))
+            await asyncio.sleep(0.01)  # let the first submit enqueue
+            with pytest.raises(QueueFull):
+                await queue.submit("g", "plm", seed=1)
+            waiter.cancel()
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                pass
+            return dict(queue.stats)
+
+    stats = _run(body())
+    assert stats["rejected"] == 1
+
+
+def test_timeout_raises_job_timeout_and_cancels_unstarted(graph):
+    async def body():
+        with GraphRegistry(capacity=4) as registry:
+            registry.add("g", graph)
+            queue = JobQueue(registry, workers=1)
+            queue._queue = asyncio.Queue(maxsize=4)  # dispatcher not running
+            with pytest.raises(JobTimeout):
+                await queue.submit("g", "plm", seed=0, timeout=0.05)
+            return dict(queue.stats)
+
+    stats = _run(body())
+    assert stats["timeouts"] == 1
+    assert stats["cancelled"] == 1
+
+
+def test_failing_job_reports_error_not_batch_loss(graph):
+    """A job that raises inside the worker fails alone; a sibling in the
+    same batch still completes."""
+
+    async def body(queue):
+        bad = queue.submit("g", "plm", {"gamma": float("nan")}, seed=0)
+        good = queue.submit("g", "plp", seed=0)
+        results = await asyncio.gather(bad, good, return_exceptions=True)
+        return results, dict(queue.stats)
+
+    results, stats = _run(_with_queue(graph, body, batch_max=2))
+    bad, good = results
+    # NaN gamma either fails loudly (RuntimeError from the worker) or
+    # produces a partition; either way the good job must succeed.
+    assert isinstance(good, dict) and good["k"] >= 1
+    if isinstance(bad, Exception):
+        assert stats["errors"] == 1
+
+
+def test_label_payload_roundtrip_is_byte_exact(graph):
+    async def body(queue):
+        return await queue.submit("g", "louvain", seed=2)
+
+    payload = _run(_with_queue(graph, body))
+    direct = make_detector("louvain", seed=2).run(graph).partition.labels
+    served = decode_labels(payload["labels"])
+    assert served.dtype == direct.dtype
+    np.testing.assert_array_equal(served, direct)

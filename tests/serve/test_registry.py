@@ -1,0 +1,129 @@
+"""GraphRegistry: lazy loads, LRU pinning, npz spills, shm lifetime."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph import io as graph_io
+from repro.parallel.backend import SharedGraph, materialize, shared_memory_available
+from repro.serve.registry import GraphRegistry
+
+
+@pytest.fixture
+def graph():
+    g, _ = generators.planted_partition(200, 4, 0.3, 0.02, seed=7)
+    return g
+
+
+@pytest.fixture
+def graph_path(tmp_path, graph):
+    path = tmp_path / "pp.npz"
+    graph_io.save_npz(graph, os.fspath(path))
+    return os.fspath(path)
+
+
+def _shm_listing():
+    return set(glob.glob("/dev/shm/*"))
+
+
+def test_add_path_stays_cold(graph_path):
+    with GraphRegistry(capacity=2) as reg:
+        row = reg.add("pp", graph_path)
+        assert row["state"] == "cold"
+        assert row["n"] is None  # not loaded yet
+        assert reg.stats["cold_loads"] == 0
+
+
+def test_pin_loads_and_returns_same_graph(graph, graph_path):
+    with GraphRegistry(capacity=2) as reg:
+        reg.add("pp", graph_path)
+        pinned = reg.pin("pp")
+        assert pinned.n == graph.n and pinned.m == graph.m
+        np.testing.assert_array_equal(pinned.indices, graph.indices)
+        assert reg.describe("pp")["state"] == "hot"
+        assert reg.stats["cold_loads"] == 1
+        reg.pin("pp")  # warm pin: no second load
+        assert reg.stats["cold_loads"] == 1
+
+
+def test_add_graph_object_is_immediately_hot(graph):
+    with GraphRegistry(capacity=2) as reg:
+        row = reg.add("mem", graph)
+        assert row["state"] == "hot"
+        assert row["n"] == graph.n
+
+
+def test_lru_eviction_keeps_capacity(graph):
+    with GraphRegistry(capacity=2) as reg:
+        for i in range(4):
+            reg.add(f"g{i}", graph)
+        hot = [r["graph_id"] for r in reg.list() if r["state"] == "hot"]
+        assert len(hot) == 2
+        # Most recently added survive.
+        assert hot == ["g2", "g3"]
+        assert reg.stats["evictions"] == 2
+
+
+def test_evicted_graph_reloads_identically(graph):
+    """An in-memory graph with no source must spill to .npz and reload
+    bit-identical."""
+    with GraphRegistry(capacity=1) as reg:
+        reg.add("a", graph)
+        reg.evict("a")
+        assert reg.describe("a")["state"] == "cold"
+        assert reg.stats["spills"] == 1
+        back = reg.pin("a")
+        np.testing.assert_array_equal(back.indptr, graph.indptr)
+        np.testing.assert_array_equal(back.indices, graph.indices)
+        np.testing.assert_array_equal(back.weights, graph.weights)
+
+
+def test_npz_source_never_spills(graph_path):
+    with GraphRegistry(capacity=1) as reg:
+        reg.add("pp", graph_path)
+        reg.pin("pp")
+        reg.evict("pp")
+        assert reg.stats["spills"] == 0  # the source file is the cache
+        reg.pin("pp")
+
+
+def test_share_returns_materializable_handle(graph):
+    with GraphRegistry(capacity=2) as reg:
+        reg.add("a", graph)
+        handle = reg.share("a")
+        if shared_memory_available():
+            assert isinstance(handle, SharedGraph)
+        got = materialize(handle)
+        np.testing.assert_array_equal(got.indices, graph.indices)
+
+
+def test_close_releases_all_segments(graph):
+    before = _shm_listing()
+    reg = GraphRegistry(capacity=4)
+    for i in range(3):
+        reg.add(f"g{i}", graph)
+    assert len(reg.segment_names()) > 0 or not shared_memory_available()
+    reg.close()
+    assert reg.segment_names() == set()
+    leaked = _shm_listing() - before
+    assert not leaked, f"leaked shm segments: {leaked}"
+
+
+def test_unknown_graph_raises_keyerror():
+    with GraphRegistry() as reg:
+        with pytest.raises(KeyError):
+            reg.pin("nope")
+        assert "nope" not in reg
+
+
+def test_readd_replaces_entry(graph, graph_path):
+    with GraphRegistry(capacity=2) as reg:
+        reg.add("x", graph)
+        reg.add("x", graph_path)  # replace hot in-memory with cold path
+        assert reg.describe("x")["state"] == "cold"
+        assert len(reg.ids()) == 1
