@@ -46,7 +46,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.community import EPP, PLM, PLMR, PLP
+from repro.community import EPP, PLM, PLMR, PLP, kernel_backends
 from repro.community._kernels import gather_neighborhoods, group_label_weights
 from repro.graph.coarsening import coarsen
 from repro.graph.csr import Graph
@@ -144,14 +144,22 @@ KERNEL_NAMES = (
 
 
 def _kernel_cell(
-    graph, size: str, name: str, repeats: int, chunk: int
+    graph,
+    size: str,
+    name: str,
+    repeats: int,
+    chunk: int,
+    kernel_backend: str | None = None,
 ) -> dict[str, Any]:
     """Time one (kernel, graph) cell; the fan-out unit of the suite.
 
     Module-level (not a closure) so the process backend can ship it to a
     worker; the setup (rng seed 7, labels, permutation) is rebuilt
     identically per cell, so which process runs it cannot change what is
-    measured.
+    measured. ``kernel_backend`` (a policy string — picklable) selects
+    who executes the ``move_sweep`` cell's hot loops; the other cells
+    time the vectorized helpers directly and always record
+    ``backend: "numpy"``.
     """
     graph = materialize(graph)
     rng = np.random.default_rng(7)
@@ -185,7 +193,7 @@ def _kernel_cell(
         return coarsen(graph, labels)
 
     def bench_move_sweep():
-        plm = PLM(threads=1, seed=3)
+        plm = PLM(threads=1, seed=3, kernel_backend=kernel_backend)
         lab = np.arange(graph.n, dtype=np.int64)
         runtime = ParallelRuntime(threads=1)
         plm._move_phase(graph, lab, runtime, "bench")
@@ -201,7 +209,90 @@ def _kernel_cell(
         "move_sweep": bench_move_sweep,
     }
     reps = max(1, repeats // 2) if name == "move_sweep" else repeats
-    return _entry(name, graph, size, reps, _time_best(fns[name], reps))
+    if name == "move_sweep":
+        from repro.community.backends import resolve_kernel_backend
+
+        cell_backend = resolve_kernel_backend(kernel_backend)
+    else:
+        cell_backend = "numpy"
+    return _entry(
+        name, graph, size, reps, _time_best(fns[name], reps),
+        backend=cell_backend,
+    )
+
+
+def _numba_ready() -> bool:
+    """Whether the numba backend can actually run on this host.
+
+    Gates the A/B entries: they are emitted only when a real comparison
+    is possible — an A/B against an unavailable backend would be a
+    fabricated number.
+    """
+    return bool(kernel_backends()["numba"]["available"])
+
+
+def _move_sweep_fingerprint(graph: Graph, backend: str) -> bytes:
+    """One PLM move phase under ``backend``; returns a result fingerprint.
+
+    The fingerprint (final labels + sweep count) is what the A/B's
+    ``identical`` byte-equality assertion compares across backends.
+    """
+    plm = PLM(threads=1, seed=3, kernel_backend=backend)
+    lab = np.arange(graph.n, dtype=np.int64)
+    runtime = ParallelRuntime(threads=1)
+    _, sweeps = plm._move_phase(graph, lab, runtime, "bench")
+    return lab.tobytes() + bytes([sweeps & 0xFF])
+
+
+def _backend_ab(
+    name: str,
+    graph: Graph,
+    size: str,
+    repeats: int,
+    run_with: Callable[[str], bytes],
+) -> dict[str, Any]:
+    """Fair interleaved NumPy-vs-Numba A/B of one benchmark body.
+
+    ``run_with(backend)`` executes the body under a backend and returns a
+    result fingerprint. The **first** compiled call pays JIT compilation
+    and is excluded from the timed rounds — its excess over the compiled
+    steady state is reported separately as ``compile_s`` (see
+    EXPERIMENTS.md on why compile time must not pollute a throughput
+    A/B). Rounds then alternate numpy/numba so drifting host load biases
+    neither side; ``wall_s`` is the compiled best, ``numpy_wall_s`` the
+    vectorized best, and ``identical`` asserts every fingerprint matched
+    byte-for-byte.
+    """
+    t0 = time.perf_counter()
+    fp_ref = run_with("numba")  # compile + warmup, timed for compile_s
+    first_s = time.perf_counter() - t0
+    identical = run_with("numpy") == fp_ref  # numpy warmup
+    best_np = best_nb = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fp = run_with("numpy")
+        best_np = min(best_np, time.perf_counter() - t0)
+        identical &= fp == fp_ref
+        t0 = time.perf_counter()
+        fp = run_with("numba")
+        best_nb = min(best_nb, time.perf_counter() - t0)
+        identical &= fp == fp_ref
+    return _entry(
+        name,
+        graph,
+        size,
+        max(1, repeats),
+        best_nb,
+        backend="numba",
+        numpy_wall_s=float(best_np),
+        backend_speedup=round(best_np / best_nb, 3)
+        if best_nb > 0
+        else float("inf"),
+        compile_s=round(max(0.0, first_s - best_nb), 6),
+        identical=bool(identical),
+        note="interleaved numpy/numba best-of rounds; first compiled call "
+        "excluded from timing and reported as compile_s",
+    )
 
 
 def run_kernel_suite(
@@ -209,6 +300,7 @@ def run_kernel_suite(
     repeats: int = 5,
     chunk: int = 32,
     workers: int | None = None,
+    kernel_backend: str | None = None,
 ) -> list[dict[str, Any]]:
     """Time the shared kernels; returns one record per (kernel, graph).
 
@@ -222,6 +314,13 @@ def run_kernel_suite(
     submission order, so the document layout is backend-invariant. With
     more concurrent cells than idle cores the per-cell walls inflate
     under contention — use serial runs for release-over-release deltas.
+
+    ``kernel_backend`` selects who executes the ``move_sweep`` cell's hot
+    loops. When the numba backend is available on the host, one
+    ``move_sweep_backend_ab`` entry per graph is appended — the
+    interleaved NumPy-vs-Numba comparison (timed sequentially in this
+    process for fair walls) with JIT compile time excluded and reported
+    as ``compile_s``.
     """
     backend = resolve_backend(workers)
     graphs = _graphs(preset)
@@ -232,27 +331,48 @@ def run_kernel_suite(
             name,
             repeats,
             chunk,
+            kernel_backend,
         )
         for size, graph in graphs
         for name in KERNEL_NAMES
     ]
-    return backend.map(_kernel_cell, tasks)
+    entries = backend.map(_kernel_cell, tasks)
+    if _numba_ready():
+        for size, graph in graphs:
+            entries.append(
+                _backend_ab(
+                    "move_sweep_backend_ab",
+                    graph,
+                    size,
+                    max(1, repeats // 2),
+                    lambda b, g=graph: _move_sweep_fingerprint(g, b),
+                )
+            )
+    return entries
 
 
 # ----------------------------------------------------------------------
 # End-to-end suite
 # ----------------------------------------------------------------------
-def _e2e_detector(name: str, workers: int | None):
+def _e2e_detector(
+    name: str, workers: int | None, kernel_backend: str | None = None
+):
     """Fresh detector for an e2e cell. Only EPP consumes host workers —
     its base ensemble is the detector-internal parallel boundary."""
     if name == "plp":
-        return PLP(threads=4, seed=1)
+        return PLP(threads=4, seed=1, kernel_backend=kernel_backend)
     if name == "plm":
-        return PLM(threads=4, seed=1)
+        return PLM(threads=4, seed=1, kernel_backend=kernel_backend)
     if name == "plmr":
-        return PLMR(threads=4, seed=1)
+        return PLMR(threads=4, seed=1, kernel_backend=kernel_backend)
     if name == "epp":
-        return EPP(threads=4, seed=1, ensemble_size=4, workers=workers)
+        return EPP(
+            threads=4,
+            seed=1,
+            ensemble_size=4,
+            workers=workers,
+            kernel_backend=kernel_backend,
+        )
     raise ValueError(f"unknown e2e algorithm {name!r}")
 
 
@@ -302,8 +422,22 @@ def _epp_workers_ab(
     )
 
 
+def _e2e_fingerprint(
+    name: str, graph: Graph, workers: int | None, backend: str
+) -> bytes:
+    """One full detector run under ``backend``; labels + simulated time."""
+    result = _e2e_detector(name, workers, kernel_backend=backend).run(graph)
+    return (
+        result.partition.labels.tobytes()
+        + repr(float(result.timing.total)).encode()
+    )
+
+
 def run_e2e_suite(
-    preset: str = "full", repeats: int = 2, workers: int | None = None
+    preset: str = "full",
+    repeats: int = 2,
+    workers: int | None = None,
+    kernel_backend: str | None = None,
 ) -> list[dict[str, Any]]:
     """Wall-clock full detector runs; also records simulated seconds.
 
@@ -317,15 +451,26 @@ def run_e2e_suite(
     (EPP's base ensemble) and, when ``> 1``, appends one
     ``epp_workers_ab`` entry per graph — the fair interleaved serial-vs-
     process comparison the multicore speedup claims are measured by.
+
+    ``kernel_backend`` selects who executes every timed detector's hot
+    loops (recorded per entry as ``backend``). When the numba backend is
+    available, ``plp_backend_ab``/``plm_backend_ab`` entries per graph
+    carry the interleaved NumPy-vs-Numba end-to-end comparison with JIT
+    compile time excluded (``compile_s``).
     """
+    from repro.community.backends import resolve_kernel_backend
+
     effective = resolve_backend(workers).workers
+    resolved_kb = resolve_kernel_backend(kernel_backend)
     entries: list[dict[str, Any]] = []
     for size, graph in _graphs(preset):
         for name in E2E_ALGORITHMS:
             sim: dict[str, float] = {}
 
             def bench():
-                result = _e2e_detector(name, workers).run(graph)
+                result = _e2e_detector(
+                    name, workers, kernel_backend=kernel_backend
+                ).run(graph)
                 sim["s"] = result.timing.total
 
             wall = _time_best(bench, repeats, warmup=1)
@@ -337,10 +482,24 @@ def run_e2e_suite(
                     repeats,
                     wall,
                     sim_s=float(sim["s"]),
+                    backend=resolved_kb,
                 )
             )
         if effective > 1:
             entries.append(_epp_workers_ab(graph, size, repeats, effective))
+        if _numba_ready():
+            for name in ("plp", "plm"):
+                entries.append(
+                    _backend_ab(
+                        f"{name}_backend_ab",
+                        graph,
+                        size,
+                        repeats,
+                        lambda b, n=name, g=graph: _e2e_fingerprint(
+                            n, g, workers, b
+                        ),
+                    )
+                )
     return entries
 
 
@@ -574,6 +733,7 @@ def _host_info(workers: int | None = None) -> dict[str, Any]:
         "backend": backend.kind,
         "workers": int(backend.workers),
         "cpu_count": int(os.cpu_count() or 1),
+        "kernel_backends": kernel_backends(),
     }
 
 
@@ -642,6 +802,25 @@ def validate_document(doc: dict) -> list[str]:
         wall = entry.get("wall_s")
         if not isinstance(wall, (int, float)) or wall < 0:
             problems.append(f"benchmarks[{i}].wall_s must be a non-negative number")
+        # Kernel-backend fields are optional (older documents predate
+        # them) but typed when present.
+        backend = entry.get("backend")
+        if backend is not None and backend not in ("numpy", "numba"):
+            problems.append(
+                f"benchmarks[{i}].backend must be 'numpy' or 'numba', "
+                f"got {backend!r}"
+            )
+        if entry.get("name", "").endswith("_backend_ab"):
+            if not isinstance(entry.get("identical"), bool):
+                problems.append(
+                    f"benchmarks[{i}] backend A/B needs a boolean 'identical'"
+                )
+            for key in ("numpy_wall_s", "compile_s"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"benchmarks[{i}].{key} must be a non-negative number"
+                    )
     return problems
 
 
@@ -661,6 +840,13 @@ def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
             extra += (
                 f"  serial={e['serial_wall_s']:.6f}s  "
                 f"x{e['workers_speedup']:.2f} @{e['workers']} workers"
+            )
+        if "backend_speedup" in e:
+            extra += (
+                f"  numpy={e['numpy_wall_s']:.6f}s  "
+                f"x{e['backend_speedup']:.2f} numba "
+                f"(compile {e['compile_s']:.3f}s, "
+                f"{'identical' if e['identical'] else 'MISMATCH'})"
             )
         if "edges_per_s" in e:
             extra += f"  {e['edges_per_s'] / 1e6:.2f}M edges/s"
@@ -697,6 +883,14 @@ def main(argv: list[str] | None = None) -> int:
             help="host worker processes (shared-memory pool; default: "
             "REPRO_WORKERS or 1 = serial). kernels: fans out cells; "
             "e2e: drives EPP's internal backend + the epp_workers_ab entry",
+        )
+        p.add_argument(
+            "--kernel-backend",
+            choices=["numpy", "numba", "auto"],
+            default=None,
+            help="hot-loop executor for the timed detectors (default: "
+            "REPRO_KERNEL_BACKEND or numpy); *_backend_ab entries are "
+            "emitted whenever the numba backend is available",
         )
     s = sub.add_parser("scale", help="run the massive-input scale suite")
     s.add_argument(
@@ -737,11 +931,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "kernels":
         entries = run_kernel_suite(
-            args.preset, repeats=args.repeats, workers=args.workers
+            args.preset,
+            repeats=args.repeats,
+            workers=args.workers,
+            kernel_backend=args.kernel_backend,
         )
     elif args.command == "e2e":
         entries = run_e2e_suite(
-            args.preset, repeats=args.repeats, workers=args.workers
+            args.preset,
+            repeats=args.repeats,
+            workers=args.workers,
+            kernel_backend=args.kernel_backend,
         )
     else:
         entries = run_scale_suite(

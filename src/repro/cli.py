@@ -29,7 +29,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.bench.report import format_table
-from repro.community import ALGORITHM_NAMES, make_detector
+from repro.community import (
+    ALGORITHM_NAMES,
+    KernelBackendUnavailable,
+    make_detector,
+)
 from repro.graph import io as graph_io
 from repro.parallel.machine import PAPER_MACHINE
 from repro.parallel.runtime import ParallelRuntime
@@ -53,13 +57,47 @@ def _detector_from_args(name: str, args, seed: int | None = None):
         ensemble_size=args.ensemble_size,
         seed=args.seed if seed is None else seed,
         workers=getattr(args, "workers", None),
+        kernel_backend=getattr(args, "kernel_backend", None),
     )
+
+
+class _VersionAction(argparse.Action):
+    """``--version``: package version plus kernel-backend availability.
+
+    The backend block answers the first support question a slow run
+    raises — "is the compiled backend actually active on this host?" —
+    without writing Python.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        import repro
+        from repro.community import kernel_backends
+
+        print(f"repro {repro.__version__}")
+        info = kernel_backends()
+        print(f"kernel backends (default: {info['default']}):")
+        for name in ("numpy", "numba"):
+            b = info[name]
+            status = b["mode"] if b["available"] else "unavailable"
+            version = b.get("version")
+            suffix = f", numba {version}" if version else ""
+            print(f"  {name:6s} {status}{suffix}")
+        parser.exit()
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser (detect/compare/info/generate)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="parallel community detection toolkit"
+    )
+    parser.add_argument(
+        "--version",
+        action=_VersionAction,
+        help="print version and kernel-backend availability, then exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -83,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["wide", "lean"],
         default="wide",
         help="CSR memory layout: lean halves index/weight bytes (§V-H scale)",
+    )
+    detect.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="hot-loop executor: numpy (default), numba (compiled, needs "
+        "the repro[compiled] extra) or auto; results are byte-identical "
+        "for every backend (default: REPRO_KERNEL_BACKEND or numpy)",
     )
     detect.add_argument("--gamma", type=float, default=1.0)
     detect.add_argument("--ensemble-size", type=int, default=4)
@@ -115,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="host worker processes (see `detect --workers`)",
+    )
+    compare.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="hot-loop executor (see `detect --kernel-backend`)",
     )
     compare.add_argument("--runs", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)
@@ -526,7 +578,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "client": _cmd_client,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KernelBackendUnavailable as exc:
+        print(f"kernel backend unavailable: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

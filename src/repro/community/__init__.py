@@ -16,6 +16,12 @@ and :class:`CEL`, greedy :class:`CNM`, randomized-greedy :class:`RG`, and
 the RG-based ensembles :class:`CGGC` / :class:`CGGCi`.
 """
 
+from repro.community.backends import (
+    KERNEL_BACKENDS,
+    KernelBackendUnavailable,
+    kernel_backends,
+    resolve_kernel_backend,
+)
 from repro.community.base import CommunityDetector, DetectionResult
 from repro.community.dplp import DynamicPLP
 from repro.community.factory import (
@@ -40,6 +46,10 @@ __all__ = [
     "ALGORITHM_NAMES",
     "make_detector",
     "canonical_params",
+    "KERNEL_BACKENDS",
+    "KernelBackendUnavailable",
+    "kernel_backends",
+    "resolve_kernel_backend",
     "PLP",
     "DynamicPLP",
     "OLP",

@@ -39,6 +39,8 @@ __all__ = [
     "LabelGroups",
     "group_label_weights",
     "group_from_gather",
+    "seg_bounds",
+    "kernel_module",
 ]
 
 _EMPTY_I = np.empty(0, np.int64)
@@ -329,6 +331,34 @@ def group_from_gather(
     starts = np.flatnonzero(boundary)
     gw = np.add.reduceat(ws[order], starts)
     return LabelGroups(seg_s[starts], labs_s[starts], gw)
+
+
+def seg_bounds(seg: np.ndarray, size: int) -> np.ndarray:
+    """CSR-style bounds of a gathered segment array (``size + 1`` entries).
+
+    ``seg`` is block-ordered (non-decreasing positions within the chunk),
+    so per-position counts plus a cumulative sum recover the slice
+    boundaries the compiled kernels consume. Used only on the fallback
+    path for chunks that are not slices of a pre-gathered plan.
+    """
+    bounds = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(np.bincount(seg, minlength=size), out=bounds[1:])
+    return bounds
+
+
+def kernel_module(backend: str):
+    """The kernel implementation module for a resolved backend name.
+
+    ``"numpy"`` returns ``None`` (callers use the vectorized helpers in
+    this module); ``"numba"`` returns :mod:`repro.community._kernels_numba`.
+    Callers pass a backend already resolved by
+    :func:`repro.community.backends.resolve_kernel_backend`.
+    """
+    if backend == "numba":
+        from repro.community import _kernels_numba
+
+        return _kernels_numba
+    return None
 
 
 def group_label_weights(

@@ -1,0 +1,149 @@
+"""Kernel backend policies: who executes the PLP/PLM hot loops.
+
+Mirrors :mod:`repro.graph.dtypes` — a small policy vocabulary threaded
+through the detectors, the CLI and the server:
+
+* ``"numpy"`` (default) — the fused vectorized kernels of
+  :mod:`repro.community._kernels`; always available.
+* ``"numba"`` — the ``@njit``-compiled single-pass kernels of
+  :mod:`repro.community._kernels_numba`; requires the optional
+  ``numba`` dependency (``pip install repro[compiled]``). Selecting it
+  without numba raises :class:`KernelBackendUnavailable`.
+* ``"auto"`` — ``numba`` when importable, silently ``numpy`` otherwise.
+
+Both backends produce **byte-identical** labels, simulated timings and
+info counters: the compiled kernels replicate the NumPy float operation
+tree exactly (same accumulation order, same dtype promotions, same
+tie-breaking), so the backend is a pure host-speed knob — like
+``workers``, it never changes results, and is therefore host-only for
+the server's result-cache keys.
+
+The environment variable ``REPRO_KERNEL_BACKEND`` supplies the default
+when a detector is constructed without an explicit policy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "NUMPY",
+    "NUMBA",
+    "AUTO",
+    "BACKEND_ENV",
+    "KernelBackendUnavailable",
+    "validate_kernel_backend",
+    "resolve_kernel_backend",
+    "kernel_backends",
+]
+
+NUMPY = "numpy"
+NUMBA = "numba"
+AUTO = "auto"
+
+#: Recognized kernel backend policies.
+KERNEL_BACKENDS = (NUMPY, NUMBA, AUTO)
+
+#: Environment variable consulted when no explicit policy is given.
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+class KernelBackendUnavailable(RuntimeError):
+    """An explicitly requested kernel backend cannot run on this host.
+
+    Raised when ``kernel_backend="numba"`` is selected but the optional
+    ``numba`` dependency is not importable (and the interpreted testing
+    fallback is not enabled). ``"auto"`` never raises — it silently
+    falls back to ``"numpy"``.
+    """
+
+
+def _numba_usable() -> bool:
+    """Whether the ``numba`` backend can be selected on this host.
+
+    True when numba is importable, or when the interpreted testing
+    fallback (``REPRO_KERNEL_NUMBA_FALLBACK=1``) is enabled — see
+    :mod:`repro.community._kernels_numba`.
+    """
+    from repro.community import _kernels_numba as knb
+
+    return knb.HAVE_NUMBA or knb.fallback_enabled()
+
+
+def validate_kernel_backend(policy: str) -> str:
+    """Return ``policy`` if recognized, raise ``ValueError`` otherwise."""
+    if policy not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {policy!r}; "
+            f"expected one of {KERNEL_BACKENDS}"
+        )
+    return policy
+
+
+def resolve_kernel_backend(policy: str | None = None) -> str:
+    """Resolve a policy to the concrete backend: ``"numpy"`` or ``"numba"``.
+
+    ``None`` consults ``REPRO_KERNEL_BACKEND`` (default ``"numpy"``).
+    ``"numba"`` raises :class:`KernelBackendUnavailable` when the
+    compiled backend cannot run; ``"auto"`` prefers ``"numba"`` when it
+    can and silently falls back to ``"numpy"`` when it cannot — the only
+    silent fallback, by design.
+    """
+    if policy is None:
+        policy = os.environ.get(BACKEND_ENV) or NUMPY
+    validate_kernel_backend(policy)
+    if policy == NUMPY:
+        return NUMPY
+    usable = _numba_usable()
+    if policy == NUMBA:
+        if not usable:
+            raise KernelBackendUnavailable(
+                "kernel_backend='numba' requested but numba is not "
+                "installed. Install the optional compiled extra "
+                "(pip install repro[compiled]), use kernel_backend='auto' "
+                "for silent fallback, or set REPRO_KERNEL_NUMBA_FALLBACK=1 "
+                "to run the kernel sources interpreted (slow; testing only)."
+            )
+        return NUMBA
+    # AUTO
+    return NUMBA if usable else NUMPY
+
+
+def kernel_backends() -> dict[str, Any]:
+    """Introspect the kernel backends available on this host.
+
+    Returns a JSON-serializable dict (surfaced by ``repro --version``
+    and the detection server's ``stats`` op)::
+
+        {
+          "default": "numpy",          # what kernel_backend=None resolves to
+          "numpy": {"available": true, "mode": "vectorized"},
+          "numba": {"available": false, "mode": null, "version": null},
+        }
+
+    ``numba.mode`` is ``"compiled"`` when numba is importable and
+    ``"interpreted-fallback"`` when only the testing fallback is active.
+    """
+    from repro.community import _kernels_numba as knb
+
+    if knb.HAVE_NUMBA:
+        mode = "compiled"
+    elif knb.fallback_enabled():
+        mode = "interpreted-fallback"
+    else:
+        mode = None
+    try:
+        default = resolve_kernel_backend(None)
+    except (KernelBackendUnavailable, ValueError):
+        default = f"invalid ({os.environ.get(BACKEND_ENV)!r})"
+    return {
+        "default": default,
+        "numpy": {"available": True, "mode": "vectorized"},
+        "numba": {
+            "available": mode is not None,
+            "mode": mode,
+            "version": knb.numba_version(),
+        },
+    }

@@ -20,6 +20,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.community.backends import validate_kernel_backend
 from repro.community.base import CommunityDetector
 from repro.graph.coarsening import coarsen, prolong
 from repro.graph.csr import Graph
@@ -51,6 +52,27 @@ def _default_final_factory(seed: int) -> CommunityDetector:
     from repro.community.plm import PLM
 
     return PLM(seed=seed)
+
+
+class _BackendBoundFactory:
+    """Wrap a detector factory, pinning a kernel-backend policy.
+
+    Module-level and holding only the wrapped callable plus the policy
+    string, so EPP instances stay picklable for the process pool; each
+    pool worker resolves the policy against its own environment at run
+    time. Detectors without a ``kernel_backend`` knob (e.g. the serial
+    baselines) pass through untouched.
+    """
+
+    def __init__(self, factory: DetectorFactory, kernel_backend: str) -> None:
+        self.factory = factory
+        self.kernel_backend = kernel_backend
+
+    def __call__(self, seed: int) -> CommunityDetector:
+        detector = self.factory(seed)
+        if hasattr(detector, "kernel_backend"):
+            detector.kernel_backend = self.kernel_backend
+        return detector
 
 
 def _run_base_instance(
@@ -99,6 +121,12 @@ class EPP(CommunityDetector):
         defers to the ``REPRO_WORKERS`` environment variable; ``<= 1``
         runs inline. Results are byte-identical for every worker count;
         only host wall-clock changes.
+    kernel_backend:
+        Kernel backend policy pinned onto every base and final detector
+        that takes one (``"numpy"``/``"numba"``/``"auto"``; ``None``
+        leaves the factories' own defaults, which consult
+        ``REPRO_KERNEL_BACKEND``). Like ``workers``, a pure host-speed
+        knob — see :mod:`repro.community.backends`.
     """
 
     name = "EPP"
@@ -112,19 +140,26 @@ class EPP(CommunityDetector):
         iterations: int = 1,
         seed: int = 0,
         workers: int | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         super().__init__(threads=threads)
         if ensemble_size < 1:
             raise ValueError("ensemble_size must be >= 1")
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
+        if kernel_backend is not None:
+            validate_kernel_backend(kernel_backend)
         self.ensemble_size = ensemble_size
         self.seed = seed
         self.workers = workers
+        self.kernel_backend = kernel_backend
         if base_factory is None:
             base_factory = _default_base_factory
         if final_factory is None:
             final_factory = _default_final_factory
+        if kernel_backend is not None:
+            base_factory = _BackendBoundFactory(base_factory, kernel_backend)
+            final_factory = _BackendBoundFactory(final_factory, kernel_backend)
         self.base_factory = base_factory
         self.final_factory = final_factory
         self.iterations = iterations

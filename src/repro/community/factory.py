@@ -35,21 +35,36 @@ DEFAULT_PARAMS: dict[str, Any] = {
     "ensemble_size": 4,
     "seed": 0,
     "workers": None,
+    "kernel_backend": None,
 }
 
-#: Parameters that affect only *where* work runs, never the result — they
-#: are excluded from result-cache keys.
-HOST_ONLY_PARAMS = frozenset({"workers"})
+#: Parameters that affect only *where* or *how fast* work runs, never the
+#: result — they are excluded from result-cache keys. ``kernel_backend``
+#: qualifies because both backends are byte-identical by contract.
+HOST_ONLY_PARAMS = frozenset({"workers", "kernel_backend"})
 
 _BUILDERS = {
-    "plp": lambda p: PLP(threads=p["threads"], seed=p["seed"]),
-    "plm": lambda p: PLM(threads=p["threads"], gamma=p["gamma"], seed=p["seed"]),
-    "plmr": lambda p: PLMR(threads=p["threads"], gamma=p["gamma"], seed=p["seed"]),
+    "plp": lambda p: PLP(
+        threads=p["threads"], seed=p["seed"], kernel_backend=p["kernel_backend"]
+    ),
+    "plm": lambda p: PLM(
+        threads=p["threads"],
+        gamma=p["gamma"],
+        seed=p["seed"],
+        kernel_backend=p["kernel_backend"],
+    ),
+    "plmr": lambda p: PLMR(
+        threads=p["threads"],
+        gamma=p["gamma"],
+        seed=p["seed"],
+        kernel_backend=p["kernel_backend"],
+    ),
     "epp": lambda p: EPP(
         threads=p["threads"],
         ensemble_size=p["ensemble_size"],
         seed=p["seed"],
         workers=p["workers"],
+        kernel_backend=p["kernel_backend"],
     ),
     "louvain": lambda p: Louvain(gamma=p["gamma"], seed=p["seed"]),
     "clu": lambda p: CLU(threads=p["threads"], seed=p["seed"]),

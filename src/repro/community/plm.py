@@ -35,7 +35,15 @@ from typing import Any
 
 import numpy as np
 
-from repro.community._kernels import neighborhood_cache
+from repro.community._kernels import (
+    kernel_module,
+    neighborhood_cache,
+    seg_bounds,
+)
+from repro.community.backends import (
+    resolve_kernel_backend,
+    validate_kernel_backend,
+)
 from repro.community.base import CommunityDetector
 from repro.graph.coarsening import coarsen, prolong
 from repro.graph.csr import Graph
@@ -75,6 +83,12 @@ class PLM(CommunityDetector):
         Recompute full modularity after every sweep and record
         ``abs(incremental - full)`` in ``modularity_audit`` (testing hook;
         the move phase itself always uses the incremental value).
+    kernel_backend:
+        Who executes the hot loops: ``"numpy"`` (vectorized, default),
+        ``"numba"`` (compiled, requires the optional dependency) or
+        ``"auto"``; ``None`` consults ``REPRO_KERNEL_BACKEND``. Both
+        backends are byte-identical — see
+        :mod:`repro.community.backends`.
     """
 
     name = "PLM"
@@ -90,10 +104,14 @@ class PLM(CommunityDetector):
         seed: int = 0,
         audit_modularity: bool = False,
         speculate: bool = True,
+        kernel_backend: str | None = None,
     ) -> None:
         super().__init__(threads=threads)
         if gamma < 0:
             raise ValueError("gamma must be non-negative")
+        if kernel_backend is not None:
+            validate_kernel_backend(kernel_backend)
+        self.kernel_backend = kernel_backend
         self.gamma = gamma
         self.refine = refine
         self.max_sweeps = max_sweeps
@@ -164,6 +182,15 @@ class PLM(CommunityDetector):
         # maintained while a speculation is active).
         comm_dirty = np.zeros(n, dtype=bool)
         rc = runtime.racecheck
+        # Resolve the backend per phase: the detector stores only the
+        # policy string, so instances stay picklable for EPP's process
+        # pool and pool workers resolve against their own environment.
+        # Racecheck wraps the shared arrays in an ndarray-subclass view
+        # the compiled kernels cannot consume; backends are byte-
+        # identical, so checking the NumPy path validates the schedule
+        # for both.
+        backend = resolve_kernel_backend(self.kernel_backend)
+        knb = kernel_module(backend) if rc is None else None
         if rc is not None:
             # Shared-memory contract (docs/CORRECTNESS.md): gain kernels
             # read labels/volumes/sizes stale (§III-B benign races); the
@@ -337,6 +364,45 @@ class PLM(CommunityDetector):
                     return None
             return pos, src, dst, vol_u[pos]
 
+        if knb is not None:
+            scratch = knb.KernelScratch(n, cache.weights.dtype)
+            denom = 2.0 * omega * omega
+
+            def decide_compiled(cur, vol_u, bounds, lo, nbrs, ws):
+                """Compiled twin of :func:`decide` over a CSR block.
+
+                ``cur``/``vol_u`` are the block's per-position labels and
+                volumes; ``nbrs``/``ws`` are the flat plan (or gather)
+                arrays addressed through ``bounds`` from ``lo`` — views,
+                never copies. Same return contract as ``decide``.
+                """
+                out_pos = np.empty(cur.size, dtype=np.int64)
+                out_dst = np.empty(cur.size, dtype=np.int64)
+                count = knb.plm_decide_block(
+                    cur,
+                    vol_u,
+                    labels,
+                    bounds,
+                    lo,
+                    nbrs,
+                    ws,
+                    comm_vol,
+                    comm_size,
+                    omega,
+                    gamma,
+                    denom,
+                    scratch.weight,
+                    scratch.mark,
+                    scratch.touched,
+                    scratch.stamp,
+                    out_pos,
+                    out_dst,
+                )
+                if count == 0:
+                    return None
+                pos = out_pos[:count]
+                return pos, cur[pos], out_dst[:count], vol_u[pos]
+
         def make_kernel(plan, labels_ord, vol_ord, keys_base, spec):
             """Bind the sweep's precomputed arrays into a fresh kernel
             closure (cheaper per block than dict lookups + method calls).
@@ -365,7 +431,17 @@ class PLM(CommunityDetector):
                     seg, nbrs, ws = cache.gather(chunk)
                     if seg.size == 0:
                         return None
-                    decision = decide(chunk, seg, nbrs, ws)
+                    if knb is not None:
+                        decision = decide_compiled(
+                            labels[chunk],
+                            volumes[chunk],
+                            seg_bounds(seg, chunk.size),
+                            0,
+                            nbrs,
+                            ws,
+                        )
+                    else:
+                        decision = decide(chunk, seg, nbrs, ws)
                     if decision is None:
                         return None
                     pos, src, dst, vol = decision
@@ -403,6 +479,16 @@ class PLM(CommunityDetector):
                     # block's input communities: the speculated decision
                     # may be stale, re-evaluate against live state below.
                     spec_ctr["invalidated"] = spec_ctr.get("invalidated", 0) + 1
+                if knb is not None:
+                    if bounds[lo] == bounds[hi]:
+                        return None
+                    decision = decide_compiled(
+                        cur, vol_ord[lo:hi], bounds, int(lo), nbrs_all, ws_all
+                    )
+                    if decision is None:
+                        return None
+                    pos, src, dst, vol = decision
+                    return chunk[pos], src, dst, vol
                 nbrs = nbrs_all[sl]
                 if nbrs.size == 0:
                     return None
@@ -510,7 +596,12 @@ class PLM(CommunityDetector):
                 plan = cache.plan(order)
                 labels_ord = labels[order]
                 vol_ord = volumes[order]
-                keys_base = plan.seg * width if fused_ok else None
+                # The fused sort key is a numpy-path artifact; the
+                # compiled kernels scan instead of sorting, so skip
+                # building it under the numba backend.
+                keys_base = (
+                    plan.seg * width if fused_ok and knb is None else None
+                )
                 if (
                     self.speculate
                     and prev_moves * 1024 < order.size
@@ -520,15 +611,21 @@ class PLM(CommunityDetector):
                     # decision from the sweep-start state in one pass
                     # (same ``decide`` the per-block kernel runs, so the
                     # float operation tree is identical by construction).
-                    decision = decide(
-                        order,
-                        plan.seg,
-                        plan.nbrs,
-                        plan.ws,
-                        cur=labels_ord,
-                        vol_u=vol_ord,
-                        keys=keys_base,
-                    )
+                    if knb is not None:
+                        decision = decide_compiled(
+                            labels_ord, vol_ord, plan.bounds, 0, plan.nbrs,
+                            plan.ws,
+                        )
+                    else:
+                        decision = decide(
+                            order,
+                            plan.seg,
+                            plan.nbrs,
+                            plan.ws,
+                            cur=labels_ord,
+                            vol_u=vol_ord,
+                            keys=keys_base,
+                        )
                     s_move = np.zeros(order.size, dtype=bool)
                     s_lab = np.zeros(order.size, dtype=np.int64)
                     s_vol = np.zeros(order.size, dtype=np.float64)
@@ -646,6 +743,7 @@ class PLM(CommunityDetector):
         labels = self._detect(graph, runtime, 0, info)
         info["levels"] = len(info["sweeps_per_level"])
         info["speculation"] = dict(self._spec_counters)
+        info["kernel_backend"] = resolve_kernel_backend(self.kernel_backend)
         return labels, info
 
 

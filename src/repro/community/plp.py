@@ -28,7 +28,13 @@ import numpy as np
 from repro.community._kernels import (
     gather_neighborhoods,
     group_from_gather,
+    kernel_module,
     neighborhood_cache,
+    seg_bounds,
+)
+from repro.community.backends import (
+    resolve_kernel_backend,
+    validate_kernel_backend,
 )
 from repro.community.base import CommunityDetector
 from repro.graph.csr import Graph
@@ -91,6 +97,12 @@ class PLP(CommunityDetector):
         ``"activate-seeds"`` (only a random fraction starts active).
     perturbation_fraction:
         Fraction of nodes in the random seed set (default 0.05).
+    kernel_backend:
+        Who executes the hot loops: ``"numpy"`` (vectorized, default),
+        ``"numba"`` (compiled, requires the optional dependency) or
+        ``"auto"``; ``None`` consults ``REPRO_KERNEL_BACKEND``. Both
+        backends are byte-identical — see
+        :mod:`repro.community.backends`.
     """
 
     name = "PLP"
@@ -105,8 +117,11 @@ class PLP(CommunityDetector):
         seed: int = 0,
         perturbation: str | None = None,
         perturbation_fraction: float = 0.05,
+        kernel_backend: str | None = None,
     ) -> None:
         super().__init__(threads=threads)
+        if kernel_backend is not None:
+            validate_kernel_backend(kernel_backend)
         if theta_factor < 0:
             raise ValueError("theta_factor must be non-negative")
         if perturbation not in (None, "deactivate-seeds", "activate-seeds"):
@@ -120,6 +135,7 @@ class PLP(CommunityDetector):
         self.seed = seed
         self.perturbation = perturbation
         self.perturbation_fraction = perturbation_fraction
+        self.kernel_backend = kernel_backend
 
     # ------------------------------------------------------------------
     def _run(
@@ -168,6 +184,14 @@ class PLP(CommunityDetector):
         theta = n * self.theta_factor
         cache = neighborhood_cache(graph)
         rc = runtime.racecheck
+        # Resolve the backend per run: the detector stores only the policy
+        # string, so instances stay picklable for EPP's process pool and
+        # pool workers resolve against their own environment. Racecheck
+        # wraps shared arrays in an ndarray-subclass view the compiled
+        # kernels cannot consume; backends are byte-identical, so checking
+        # the NumPy path validates the schedule for both.
+        backend = resolve_kernel_backend(self.kernel_backend)
+        knb = kernel_module(backend) if rc is None else None
         if rc is not None:
             # Shared-memory contract (docs/CORRECTNESS.md): label reads may
             # be stale (§III-A benign races); `active` takes idempotent
@@ -188,6 +212,46 @@ class PLP(CommunityDetector):
         # Per-iteration jitter salt, hoisted out of the kernel (it only
         # changes between iterations, not between blocks).
         state["salt"] = base_salt
+
+        if knb is not None:
+            scratch = knb.KernelScratch(n, cache.weights.dtype)
+            # ``1.0`` / ``1e-9`` pre-cast to the storage weight dtype:
+            # NumPy's weak-scalar promotion evaluates the jitter scale in
+            # that dtype, and the compiled kernel must match bit-for-bit.
+            w_one = cache.weights.dtype.type(1.0)
+            w_eps = cache.weights.dtype.type(1e-9)
+
+        def kernel_compiled(chunk: np.ndarray):
+            plan = state["plan"]
+            lo = plan.offset(chunk)
+            if lo >= 0:
+                # Views of the plan's flat arrays — no per-block copies,
+                # no dtype conversion (lean int32/f32 pass through).
+                nbrs, ws, bounds = plan.nbrs, plan.ws, plan.bounds
+            else:  # foreign chunk (not a slice of the planned order)
+                seg, nbrs, ws = cache.gather(chunk)
+                bounds = seg_bounds(seg, chunk.size)
+                lo = 0
+            out_move = np.empty(chunk.size, dtype=np.bool_)
+            out_label = np.empty(chunk.size, dtype=np.int64)
+            knb.plp_block(
+                chunk,
+                labels,
+                bounds,
+                lo,
+                nbrs,
+                ws,
+                state["salt"],
+                scratch.weight,
+                scratch.mark,
+                scratch.touched,
+                scratch.stamp,
+                w_one,
+                w_eps,
+                out_move,
+                out_label,
+            )
+            return chunk[out_move], out_label[out_move], chunk[~out_move]
 
         def kernel(chunk: np.ndarray):
             seg, nbrs, ws = state["plan"].block(chunk)
@@ -220,6 +284,9 @@ class PLP(CommunityDetector):
             cur_score = cur_w + 1e-9 * (1.0 + cur_w) * cur_jitter
             change = has & (best_w > cur_score) & (best_lab != cur)
             return chunk[change], best_lab[change], chunk[~change]
+
+        if knb is not None:
+            kernel = kernel_compiled
 
         def commit(update) -> None:
             moved, new_labels, stable = update
@@ -285,4 +352,5 @@ class PLP(CommunityDetector):
         return {
             "iterations": len(iterations),
             "per_iteration": iterations,
+            "kernel_backend": backend,
         }

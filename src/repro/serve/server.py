@@ -20,6 +20,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.community.backends import kernel_backends
 from repro.parallel.backend import resolve_backend, shm_degradation, shutdown_all
 from repro.serve.jobs import JobQueue, JobTimeout, QueueFull
 from repro.serve.protocol import (
@@ -297,6 +298,7 @@ class DetectionServer:
                 "restarts": getattr(backend, "restarts", 0),
                 "degraded": shm_degradation(),
             },
+            "kernel_backends": kernel_backends(),
         }
 
     @staticmethod

@@ -145,3 +145,89 @@ def test_cli_validate_roundtrip(tmp_path, capsys):
     assert main(["validate", str(bad)]) == 1
     out = capsys.readouterr().out
     assert "ok" in out and "INVALID" in out
+
+
+class TestKernelBackendFields:
+    """Schema additions for the compiled-backend A/B (kernel_backend)."""
+
+    def test_backend_field_accepted(self):
+        doc = build_document("kernels", "smoke", [entry(backend="numpy")])
+        assert validate_document(doc) == []
+
+    def test_bad_backend_value_rejected(self):
+        doc = build_document("kernels", "smoke", [entry(backend="cython")])
+        assert any("backend" in p for p in validate_document(doc))
+
+    def test_ab_entry_requires_identical_flag(self):
+        ab = entry(
+            name="move_sweep_backend_ab",
+            backend="numba",
+            numpy_wall_s=0.5,
+            compile_s=0.1,
+        )
+        doc = build_document("kernels", "smoke", [ab])
+        assert any("identical" in p for p in validate_document(doc))
+        ab["identical"] = True
+        assert validate_document(build_document("kernels", "smoke", [ab])) == []
+
+    def test_ab_entry_requires_nonnegative_timings(self):
+        ab = entry(
+            name="plm_backend_ab",
+            backend="numba",
+            identical=True,
+            numpy_wall_s=-1.0,
+            compile_s=0.0,
+        )
+        problems = validate_document(build_document("e2e", "smoke", [ab]))
+        assert any("numpy_wall_s" in p for p in problems)
+
+    def test_host_info_reports_kernel_backends(self):
+        doc = build_document("kernels", "smoke", [entry()])
+        kb = doc["host"]["kernel_backends"]
+        assert kb["numpy"]["available"] is True
+        assert "numba" in kb
+
+
+def test_kernel_suite_emits_backend_ab_under_fallback(monkeypatch, tmp_path):
+    """With the interpreted fallback enabled, the kernels suite appends a
+    byte-identity A/B entry per graph and the document still validates.
+    Slow by design (every cell runs twice) — tiny preset only."""
+    from repro.community._kernels_numba import FALLBACK_ENV
+
+    monkeypatch.setenv(FALLBACK_ENV, "1")
+    out = tmp_path / "k.json"
+    assert (
+        main(
+            ["kernels", "--preset", "smoke", "--repeats", "1",
+             "--out", str(out)]
+        )
+        == 0
+    )
+    doc = json.loads(out.read_text())
+    assert validate_document(doc) == []
+    abs_ = [e for e in doc["benchmarks"] if e["name"].endswith("_backend_ab")]
+    assert abs_, "fallback active but no A/B entries emitted"
+    for e in abs_:
+        assert e["identical"] is True  # byte-identity, empirically
+        assert e["compile_s"] >= 0.0
+        assert e["backend"] == "numba"
+
+
+def test_e2e_suite_records_resolved_backend(monkeypatch, tmp_path):
+    from repro.community._kernels_numba import FALLBACK_ENV
+
+    monkeypatch.setenv(FALLBACK_ENV, "1")
+    out = tmp_path / "e.json"
+    assert (
+        main(
+            ["e2e", "--preset", "smoke", "--repeats", "1",
+             "--kernel-backend", "numba", "--out", str(out)]
+        )
+        == 0
+    )
+    doc = json.loads(out.read_text())
+    assert validate_document(doc) == []
+    runs = [e for e in doc["benchmarks"] if e["name"].endswith("_run")]
+    assert runs and all(e["backend"] == "numba" for e in runs)
+    abs_ = [e for e in doc["benchmarks"] if e["name"].endswith("_backend_ab")]
+    assert abs_ and all(e["identical"] for e in abs_)

@@ -1,0 +1,176 @@
+"""Kernel backend policy plumbing: resolution, errors, introspection.
+
+The compiled backend (numba) is an optional dependency that may or may
+not exist in the test environment; everything here is written to pass
+either way. Tests that need the "numba" backend selectable enable the
+interpreted testing fallback (``REPRO_KERNEL_NUMBA_FALLBACK=1``), which
+runs the exact kernel sources uncompiled — same code path through the
+dispatch layer, no dependency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import _kernels_numba as knb
+from repro.community.backends import (
+    BACKEND_ENV,
+    KERNEL_BACKENDS,
+    KernelBackendUnavailable,
+    kernel_backends,
+    resolve_kernel_backend,
+    validate_kernel_backend,
+)
+from repro.community.factory import canonical_params, make_detector
+
+FALLBACK_ENV = knb.FALLBACK_ENV
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Force the 'numba unavailable' host view (even if numba exists)."""
+    monkeypatch.delenv(FALLBACK_ENV, raising=False)
+    monkeypatch.setattr(knb, "HAVE_NUMBA", False)
+
+
+@pytest.fixture
+def fallback(monkeypatch):
+    """Make the numba backend selectable via the interpreted fallback."""
+    monkeypatch.setenv(FALLBACK_ENV, "1")
+
+
+class TestValidation:
+    def test_known_policies_pass_through(self):
+        for policy in KERNEL_BACKENDS:
+            assert validate_kernel_backend(policy) == policy
+
+    def test_unknown_policy_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            validate_kernel_backend("cython")
+
+    def test_detectors_validate_at_construction(self):
+        from repro.community.plm import PLM
+        from repro.community.plp import PLP
+
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            PLP(kernel_backend="fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            PLM(kernel_backend="fortran")
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_kernel_backend(None) == "numpy"
+
+    def test_env_supplies_default(self, monkeypatch, fallback):
+        monkeypatch.setenv(BACKEND_ENV, "numba")
+        assert resolve_kernel_backend(None) == "numba"
+
+    def test_explicit_overrides_env(self, monkeypatch, fallback):
+        monkeypatch.setenv(BACKEND_ENV, "numba")
+        assert resolve_kernel_backend("numpy") == "numpy"
+
+    def test_explicit_numba_raises_when_unavailable(self, no_numba):
+        with pytest.raises(KernelBackendUnavailable) as exc:
+            resolve_kernel_backend("numba")
+        # The message must tell the user how to get out of the hole.
+        assert "repro[compiled]" in str(exc.value)
+        assert "auto" in str(exc.value)
+
+    def test_auto_silently_falls_back(self, no_numba):
+        assert resolve_kernel_backend("auto") == "numpy"
+
+    def test_auto_prefers_numba_when_usable(self, fallback):
+        assert resolve_kernel_backend("auto") == "numba"
+
+    def test_fallback_env_makes_numba_selectable(self, fallback):
+        assert resolve_kernel_backend("numba") == "numba"
+
+    def test_fallback_env_zero_means_disabled(self, monkeypatch):
+        monkeypatch.setenv(FALLBACK_ENV, "0")
+        monkeypatch.setattr(knb, "HAVE_NUMBA", False)
+        with pytest.raises(KernelBackendUnavailable):
+            resolve_kernel_backend("numba")
+
+
+class TestIntrospection:
+    def test_shape(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        info = kernel_backends()
+        assert info["default"] == "numpy"
+        assert info["numpy"] == {"available": True, "mode": "vectorized"}
+        assert set(info["numba"]) == {"available", "mode", "version"}
+
+    def test_unavailable_numba_reported_honestly(self, no_numba):
+        info = kernel_backends()
+        assert info["numba"]["available"] is False
+        assert info["numba"]["mode"] is None
+
+    def test_fallback_mode_labeled(self, monkeypatch, fallback):
+        monkeypatch.setattr(knb, "HAVE_NUMBA", False)
+        info = kernel_backends()
+        assert info["numba"]["available"] is True
+        assert info["numba"]["mode"] == "interpreted-fallback"
+
+    def test_compiled_mode_labeled(self, monkeypatch):
+        monkeypatch.setattr(knb, "HAVE_NUMBA", True)
+        monkeypatch.setattr(knb, "numba_version", lambda: "0.0-test")
+        assert kernel_backends()["numba"]["mode"] == "compiled"
+
+    def test_server_stats_expose_backends(self):
+        from repro.serve.server import DetectionServer
+
+        server = DetectionServer(workers=1)
+        try:
+            stats = server._stats()
+        finally:
+            server.registry.close()
+        assert "kernel_backends" in stats
+        assert stats["kernel_backends"]["numpy"]["available"] is True
+
+
+class TestFactory:
+    def test_kernel_backend_is_host_only(self):
+        # Host-speed knobs must not fragment the server's result cache.
+        assert "kernel_backend" not in canonical_params(
+            {"kernel_backend": "numba", "seed": 3}
+        )
+
+    def test_make_detector_threads_policy(self, fallback):
+        for name in ("plp", "plm", "plmr", "epp"):
+            detector = make_detector(name, kernel_backend="numba")
+            assert detector.kernel_backend == "numba"
+
+    def test_make_detector_default_is_none(self):
+        # None defers resolution to run time (env-sensitive, picklable).
+        assert make_detector("plm").kernel_backend is None
+
+
+class TestCLI:
+    def test_version_lists_backends(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "kernel backends" in out
+        assert "numpy" in out and "numba" in out
+
+    def test_explicit_numba_exits_2_when_unavailable(
+        self, no_numba, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.graph import generators
+        from repro.graph.io import write_metis
+
+        graph, _ = generators.planted_partition(60, 3, 0.3, 0.02, seed=1)
+        path = tmp_path / "g.metis"
+        write_metis(graph, path)
+        code = main(
+            ["detect", str(path), "--algorithm", "plm",
+             "--kernel-backend", "numba"]
+        )
+        assert code == 2
+        assert "kernel backend unavailable" in capsys.readouterr().err
