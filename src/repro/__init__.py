@@ -45,6 +45,7 @@ from repro.community import (
     DetectionResult,
     DynamicPLP,
     PLP,
+    ShardedPLP,
     PLM,
     PLMR,
     EPP,
@@ -82,6 +83,7 @@ __all__ = [
     "CommunityDetector",
     "DetectionResult",
     "PLP",
+    "ShardedPLP",
     "DynamicPLP",
     "PLM",
     "PLMR",

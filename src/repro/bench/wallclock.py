@@ -506,25 +506,46 @@ def run_e2e_suite(
 # ----------------------------------------------------------------------
 # Scale suite (fig9-class inputs, §V-H)
 # ----------------------------------------------------------------------
-def _reset_peak_rss() -> None:
-    """Reset the kernel's peak-RSS high-water mark (Linux; no-op elsewhere)."""
+def _reset_peak_rss(pid: "int | str" = "self") -> None:
+    """Reset a process's peak-RSS high-water mark (Linux; no-op elsewhere).
+
+    Works cross-process (``pid`` an int) for same-uid children — how the
+    suite resets the persistent pool's workers before a measured run.
+    """
     try:
-        with open("/proc/self/clear_refs", "w") as fh:
+        with open(f"/proc/{pid}/clear_refs", "w") as fh:
             fh.write("5")
     except OSError:
         pass
 
 
-def _read_peak_rss_mb() -> float | None:
-    """Peak resident set size in MiB since the last reset (None off-Linux)."""
+def _read_peak_rss_mb(pid: "int | str" = "self") -> float | None:
+    """A process's peak RSS in MiB since the last reset (None off-Linux)."""
     try:
-        with open("/proc/self/status", encoding="ascii") as fh:
+        with open(f"/proc/{pid}/status", encoding="ascii") as fh:
             for line in fh:
                 if line.startswith("VmHWM:"):
                     return round(int(line.split()[1]) / 1024.0, 1)
     except OSError:
         pass
     return None
+
+
+def _pool_pids(backend) -> list[int]:
+    """PIDs of the backend's live pool workers ([] for serial/no pool)."""
+    pool = getattr(backend, "_pool", None)
+    processes = getattr(pool, "_processes", None)
+    return sorted(processes) if processes else []
+
+
+def _worker_peaks_mb(backend) -> dict[str, float]:
+    """Per-worker VmHWM of the pool's processes, keyed by pid string."""
+    peaks: dict[str, float] = {}
+    for pid in _pool_pids(backend):
+        peak = _read_peak_rss_mb(pid)
+        if peak is not None:
+            peaks[str(pid)] = peak
+    return peaks
 
 
 #: (rmat args, planted-partition args, loop-sampler cap, detectors) per preset.
@@ -537,6 +558,7 @@ _SCALE_PRESETS: dict[str, dict[str, Any]] = {
         "loop_samples": 100_000,
         "detectors": ("plp", "plm", "epp"),
         "gen_repeats": 3,
+        "shards": 4,
     },
     # ~1M-edge R-MAT only; the CI scale-smoke tier.
     "scale-smoke": {
@@ -553,6 +575,27 @@ _SCALE_PRESETS: dict[str, dict[str, Any]] = {
         "loop_samples": 2_000,
         "detectors": ("plp",),
         "gen_repeats": 1,
+        "shards": 2,
+    },
+    # Sharded detection A/B on the fig9-class R-MAT: k shm CSR shards on
+    # the process pool vs the monolithic single-segment run, per-worker
+    # peak RSS on both sides.
+    "scale-sharded": {
+        "rmat": dict(scale=20, edge_factor=12, seed=42),
+        "pp": None,
+        "loop_samples": None,
+        "detectors": (),
+        "gen_repeats": 1,
+        "shards": 4,
+    },
+    # ~1M-edge R-MAT sharded tier — the CI shard-smoke pin.
+    "scale-sharded-smoke": {
+        "rmat": dict(scale=17, edge_factor=8, seed=42),
+        "pp": None,
+        "loop_samples": None,
+        "detectors": (),
+        "gen_repeats": 1,
+        "shards": 2,
     },
 }
 
@@ -638,11 +681,25 @@ def _scale_detect_entry(
     name: str, graph: Graph, size: str, workers: int | None
 ) -> dict[str, Any]:
     """One timed detector run with peak RSS (no warmup — detection at
-    fig9 size is minutes-long, and allocation noise is small against it)."""
+    fig9 size is minutes-long, and allocation noise is small against it).
+
+    Besides the parent's peak, any live pool workers are VmHWM-reset
+    before and sampled after the run, so detector-internal pool phases
+    (EPP's ensemble, sharded rounds) report ``per_worker_peak_rss_mb``
+    instead of hiding their footprint behind the parent's number.
+    """
+    backend = resolve_backend(workers)
     _reset_peak_rss()
+    for pid in _pool_pids(backend):
+        _reset_peak_rss(pid)
     t0 = time.perf_counter()
     result = _e2e_detector(name, workers).run(graph)
     wall = time.perf_counter() - t0
+    extra: dict[str, Any] = {}
+    worker_peaks = _worker_peaks_mb(backend)
+    if worker_peaks:
+        extra["per_worker_peak_rss_mb"] = worker_peaks
+        extra["worker_peak_rss_mb"] = max(worker_peaks.values())
     return _entry(
         f"{name}_detect",
         graph,
@@ -655,7 +712,77 @@ def _scale_detect_entry(
         else float("inf"),
         peak_rss_mb=_read_peak_rss_mb(),
         communities=int(np.unique(result.partition.labels).size),
+        **extra,
     )
+
+
+def _scale_sharded_entry(
+    graph: Graph, size: str, shards: int, workers: int | None, repeats: int = 1
+) -> dict[str, Any]:
+    """Interleaved sharded-vs-monolithic detection A/B with memory claim.
+
+    Alternates the monolithic single-segment run (``ShardedPLP(shards=1)``,
+    inline: one process holds the whole CSR — its parent VmHWM *is* the
+    per-worker memory of the unsharded path) with the k-shard pooled run
+    (each pool worker maps one shard segment at a time and self-reports
+    its VmHWM per round task). ``labels_match`` asserts canonical-label
+    agreement, ``identical`` the stronger byte equality the sharding
+    contract actually guarantees; ``rss_ratio`` is the bounded-memory
+    headline — sharded per-worker peak over monolithic.
+    """
+    from repro.community import ShardedPLP
+    from repro.parallel.racecheck import canonical_labels
+
+    best_mono = best_shard = float("inf")
+    mono_peak: float | None = None
+    worker_peak: float | None = None
+    mono_labels = shard_labels = None
+    for _ in range(max(1, repeats)):
+        _reset_peak_rss()
+        t0 = time.perf_counter()
+        mres = ShardedPLP(threads=4, seed=1, shards=1, workers=1).run(graph)
+        best_mono = min(best_mono, time.perf_counter() - t0)
+        peak = _read_peak_rss_mb()
+        if peak is not None:
+            mono_peak = peak if mono_peak is None else max(mono_peak, peak)
+        mono_labels = mres.partition.labels
+
+        t0 = time.perf_counter()
+        sres = ShardedPLP(
+            threads=4, seed=1, shards=shards, workers=workers
+        ).run(graph)
+        best_shard = min(best_shard, time.perf_counter() - t0)
+        peak = sres.info.get("worker_peak_rss_mb")
+        if peak is not None:
+            worker_peak = peak if worker_peak is None else max(worker_peak, peak)
+        shard_labels = sres.partition.labels
+
+    labels_match = bool(
+        np.array_equal(
+            canonical_labels(mono_labels), canonical_labels(shard_labels)
+        )
+    )
+    entry = _entry(
+        "plp_sharded_ab",
+        graph,
+        size,
+        max(1, repeats),
+        best_shard,
+        shards=int(shards),
+        workers=int(resolve_backend(workers).workers),
+        mono_wall_s=float(best_mono),
+        mono_worker_peak_rss_mb=mono_peak,
+        worker_peak_rss_mb=worker_peak,
+        rss_ratio=round(worker_peak / mono_peak, 3)
+        if worker_peak is not None and mono_peak
+        else None,
+        labels_match=labels_match,
+        identical=bool(np.array_equal(mono_labels, shard_labels)),
+        communities=int(np.unique(shard_labels).size),
+        note="interleaved monolithic (shards=1, inline, parent VmHWM) vs "
+        "k-shard pooled (workers self-report VmHWM per round task)",
+    )
+    return entry
 
 
 def run_scale_suite(
@@ -691,9 +818,12 @@ def run_scale_suite(
         cfg["gen_repeats"],
     )
     entries.append(entry)
-    entries.append(
-        _rmat_gen_ab(graph, size, rmat_args, cfg["loop_samples"], cfg["gen_repeats"])
-    )
+    if cfg["loop_samples"]:
+        entries.append(
+            _rmat_gen_ab(
+                graph, size, rmat_args, cfg["loop_samples"], cfg["gen_repeats"]
+            )
+        )
     instances.append((size, graph))
 
     if cfg["pp"] is not None:
@@ -711,6 +841,11 @@ def run_scale_suite(
     for size, graph in instances:
         for name in cfg["detectors"]:
             entries.append(_scale_detect_entry(name, graph, size, workers))
+    if cfg.get("shards"):
+        size, graph = instances[0]  # the R-MAT instance
+        entries.append(
+            _scale_sharded_entry(graph, size, cfg["shards"], workers)
+        )
     return entries
 
 
@@ -734,7 +869,14 @@ def _host_info(workers: int | None = None) -> dict[str, Any]:
         "workers": int(backend.workers),
         "cpu_count": int(os.cpu_count() or 1),
         "kernel_backends": kernel_backends(),
+        "shards": _shard_support(),
     }
+
+
+def _shard_support() -> dict[str, Any]:
+    from repro.graph.sharding import shard_support
+
+    return shard_support()
 
 
 def build_document(
@@ -810,6 +952,16 @@ def validate_document(doc: dict) -> list[str]:
                 f"benchmarks[{i}].backend must be 'numpy' or 'numba', "
                 f"got {backend!r}"
             )
+        if entry.get("name") == "plp_sharded_ab":
+            if not isinstance(entry.get("labels_match"), bool):
+                problems.append(
+                    f"benchmarks[{i}] sharded A/B needs a boolean 'labels_match'"
+                )
+            shards = entry.get("shards")
+            if not isinstance(shards, int) or shards < 1:
+                problems.append(
+                    f"benchmarks[{i}].shards must be a positive integer"
+                )
         if entry.get("name", "").endswith("_backend_ab"):
             if not isinstance(entry.get("identical"), bool):
                 problems.append(
@@ -854,6 +1006,15 @@ def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
             extra += f"  loop={e['loop_wall_s']:.3f}s  gen x{e['gen_speedup']:.0f}"
         if e.get("peak_rss_mb") is not None:
             extra += f"  peak={e['peak_rss_mb']:.0f}MiB"
+        if e.get("name") == "plp_sharded_ab":
+            worker = e.get("worker_peak_rss_mb")
+            mono = e.get("mono_worker_peak_rss_mb")
+            extra += (
+                f"  k={e['shards']}  mono={e['mono_wall_s']:.3f}s"
+                + (f"  worker={worker:.0f}MiB" if worker is not None else "")
+                + (f"  mono_worker={mono:.0f}MiB" if mono is not None else "")
+                + f"  {'match' if e['labels_match'] else 'MISMATCH'}"
+            )
         lines.append(
             f"{e['name']:>20s}  {e['graph']:<24s} {e['size']:>5s}  "
             f"{e['wall_s']:.6f}s{extra}"
@@ -910,6 +1071,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) if R-MAT full-generator throughput in edges/s "
         "falls below this floor — the CI scale-smoke pin",
     )
+    s.add_argument(
+        "--assert-sharded",
+        action="store_true",
+        help="fail (exit 1) unless the plp_sharded_ab entry shows "
+        "canonical-label agreement AND sharded per-worker peak RSS "
+        "strictly below the monolithic run — the CI shard-smoke pin",
+    )
     v = sub.add_parser("validate", help="validate BENCH_*.json schema")
     v.add_argument("files", nargs="+")
     args = parser.parse_args(argv)
@@ -962,6 +1130,28 @@ def main(argv: list[str] | None = None) -> int:
                 f"below floor {args.min_gen_eps:.0f}"
             )
             return 1
+    if args.command == "scale" and args.assert_sharded:
+        ab = next(
+            (e for e in entries if e["name"] == "plp_sharded_ab"), None
+        )
+        if ab is None:
+            print("FAIL: preset emitted no plp_sharded_ab entry")
+            return 1
+        if not ab["labels_match"]:
+            print("FAIL: sharded labels diverge from the monolithic run")
+            return 1
+        worker = ab.get("worker_peak_rss_mb")
+        mono = ab.get("mono_worker_peak_rss_mb")
+        if worker is None or mono is None or not worker < mono:
+            print(
+                f"FAIL: sharded per-worker peak RSS {worker} MiB not "
+                f"strictly below monolithic {mono} MiB"
+            )
+            return 1
+        print(
+            f"sharded ok: labels match, per-worker peak {worker:.0f} MiB "
+            f"< monolithic {mono:.0f} MiB (x{ab['rss_ratio']:.2f})"
+        )
     return 0
 
 

@@ -58,6 +58,7 @@ def _detector_from_args(name: str, args, seed: int | None = None):
         seed=args.seed if seed is None else seed,
         workers=getattr(args, "workers", None),
         kernel_backend=getattr(args, "kernel_backend", None),
+        shards=getattr(args, "shards", None),
     )
 
 
@@ -86,6 +87,13 @@ class _VersionAction(argparse.Action):
             version = b.get("version")
             suffix = f", numba {version}" if version else ""
             print(f"  {name:6s} {status}{suffix}")
+        from repro.graph.sharding import shard_support
+
+        shards = shard_support()
+        print(
+            f"sharding: supported (default shards: {shards['default']}, "
+            f"partitioners: {', '.join(shards['partitioners'])})"
+        )
         parser.exit()
 
 
@@ -130,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the repro[compiled] extra) or auto; results are byte-identical "
         "for every backend (default: REPRO_KERNEL_BACKEND or numpy)",
     )
+    detect.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the graph into k shm CSR shards and run sharded "
+        "synchronous label propagation (plp/splp/epp; bounded per-worker "
+        "memory; labels are identical for every shard count; default: "
+        "REPRO_SHARDS or unsharded)",
+    )
     detect.add_argument("--gamma", type=float, default=1.0)
     detect.add_argument("--ensemble-size", type=int, default=4)
     detect.add_argument("--seed", type=int, default=0)
@@ -167,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["numpy", "numba", "auto"],
         default=None,
         help="hot-loop executor (see `detect --kernel-backend`)",
+    )
+    compare.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for sharded detection (see `detect --shards`)",
     )
     compare.add_argument("--runs", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)

@@ -33,6 +33,7 @@ from repro.community.overlapping import OLP, OverlappingResult
 from repro.community.plp import PLP
 from repro.community.plm import PLM, PLMR
 from repro.community.epp import EPP
+from repro.community.sharded import ShardedPLP
 from repro.community.louvain import Louvain
 from repro.community.baselines.clu import CLU
 from repro.community.baselines.cel import CEL
@@ -51,6 +52,7 @@ __all__ = [
     "kernel_backends",
     "resolve_kernel_backend",
     "PLP",
+    "ShardedPLP",
     "DynamicPLP",
     "OLP",
     "OverlappingResult",

@@ -47,6 +47,27 @@ def _default_base_factory(seed: int) -> CommunityDetector:
     return PLP(seed=seed)
 
 
+class _ShardedBaseFactory:
+    """Default base factory when EPP is asked to shard: sharded PLP.
+
+    Module-level class (not a closure) so EPP instances stay picklable.
+    The bases run inside pool workers, where the nested worker pool
+    resolves to serial — each base then runs its shards inline, which is
+    byte-identical to the pooled path by the sharding contract.
+    """
+
+    def __init__(self, shards: int, partitioner: str) -> None:
+        self.shards = shards
+        self.partitioner = partitioner
+
+    def __call__(self, seed: int) -> CommunityDetector:
+        from repro.community.sharded import ShardedPLP
+
+        return ShardedPLP(
+            shards=self.shards, partitioner=self.partitioner, seed=seed
+        )
+
+
 def _default_final_factory(seed: int) -> CommunityDetector:
     """Default final: PLM (module-level so pool workers can import it)."""
     from repro.community.plm import PLM
@@ -127,6 +148,12 @@ class EPP(CommunityDetector):
         leaves the factories' own defaults, which consult
         ``REPRO_KERNEL_BACKEND``). Like ``workers``, a pure host-speed
         knob — see :mod:`repro.community.backends`.
+    shards:
+        When set (and ``base_factory`` is not given), the base ensemble
+        uses :class:`~repro.community.sharded.ShardedPLP` with this shard
+        count instead of plain PLP — bounded per-worker memory for the
+        base runs on huge graphs. ``partitioner`` picks the shard layout
+        (a host-only knob; sharded labels do not depend on it).
     """
 
     name = "EPP"
@@ -141,6 +168,8 @@ class EPP(CommunityDetector):
         seed: int = 0,
         workers: int | None = None,
         kernel_backend: str | None = None,
+        shards: int | None = None,
+        partitioner: str = "contiguous",
     ) -> None:
         super().__init__(threads=threads)
         if ensemble_size < 1:
@@ -149,12 +178,18 @@ class EPP(CommunityDetector):
             raise ValueError("iterations must be >= 1")
         if kernel_backend is not None:
             validate_kernel_backend(kernel_backend)
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
         self.ensemble_size = ensemble_size
         self.seed = seed
         self.workers = workers
         self.kernel_backend = kernel_backend
+        self.shards = shards
         if base_factory is None:
-            base_factory = _default_base_factory
+            if shards is not None:
+                base_factory = _ShardedBaseFactory(shards, partitioner)
+            else:
+                base_factory = _default_base_factory
         if final_factory is None:
             final_factory = _default_final_factory
         if kernel_backend is not None:

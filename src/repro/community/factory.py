@@ -25,6 +25,8 @@ from repro.community.epp import EPP
 from repro.community.louvain import Louvain
 from repro.community.plm import PLM, PLMR
 from repro.community.plp import PLP
+from repro.community.sharded import ShardedPLP
+from repro.graph.sharding import configured_shards
 
 __all__ = ["ALGORITHM_NAMES", "DEFAULT_PARAMS", "make_detector", "canonical_params"]
 
@@ -36,16 +38,48 @@ DEFAULT_PARAMS: dict[str, Any] = {
     "seed": 0,
     "workers": None,
     "kernel_backend": None,
+    "shards": None,
+    "partitioner": "contiguous",
 }
 
 #: Parameters that affect only *where* or *how fast* work runs, never the
 #: result — they are excluded from result-cache keys. ``kernel_backend``
-#: qualifies because both backends are byte-identical by contract.
-HOST_ONLY_PARAMS = frozenset({"workers", "kernel_backend"})
+#: qualifies because both backends are byte-identical by contract, and
+#: ``partitioner`` because sharded labels are partitioner-independent by
+#: the same contract (``shards`` is NOT host-only: it routes ``plp``
+#: between two different algorithms).
+HOST_ONLY_PARAMS = frozenset({"workers", "kernel_backend", "partitioner"})
+
+
+def _build_plp(p: dict[str, Any]) -> CommunityDetector:
+    # ``plp`` keeps its historical asynchronous semantics unless sharding
+    # is requested — explicitly (``shards=``, any value incl. 1) or via
+    # ``REPRO_SHARDS`` — in which case it routes to the synchronous
+    # sharded driver, whose labels are shard-count independent.
+    shards = p["shards"] if p["shards"] is not None else configured_shards()
+    if shards is None:
+        return PLP(
+            threads=p["threads"], seed=p["seed"], kernel_backend=p["kernel_backend"]
+        )
+    return ShardedPLP(
+        threads=p["threads"],
+        shards=shards,
+        partitioner=p["partitioner"],
+        seed=p["seed"],
+        workers=p["workers"],
+        kernel_backend=p["kernel_backend"],
+    )
+
 
 _BUILDERS = {
-    "plp": lambda p: PLP(
-        threads=p["threads"], seed=p["seed"], kernel_backend=p["kernel_backend"]
+    "plp": _build_plp,
+    "splp": lambda p: ShardedPLP(
+        threads=p["threads"],
+        shards=p["shards"],
+        partitioner=p["partitioner"],
+        seed=p["seed"],
+        workers=p["workers"],
+        kernel_backend=p["kernel_backend"],
     ),
     "plm": lambda p: PLM(
         threads=p["threads"],
@@ -65,6 +99,7 @@ _BUILDERS = {
         seed=p["seed"],
         workers=p["workers"],
         kernel_backend=p["kernel_backend"],
+        shards=p["shards"],
     ),
     "louvain": lambda p: Louvain(gamma=p["gamma"], seed=p["seed"]),
     "clu": lambda p: CLU(threads=p["threads"], seed=p["seed"]),
@@ -107,4 +142,12 @@ def canonical_params(params: dict[str, Any] | None = None) -> dict[str, Any]:
     if unknown:
         raise ValueError(f"unknown detector parameters: {sorted(unknown)}")
     merged = {**DEFAULT_PARAMS, **params}
+    # Resolve the sharding route the way the builder will: ``shards``
+    # decides WHICH algorithm runs (plain vs sharded PLP), so it stays in
+    # the key — but sharded labels are shard-count independent by
+    # contract, so every sharded request collapses to ``shards=1``.
+    if merged["shards"] is None:
+        merged["shards"] = configured_shards()
+    if merged["shards"] is not None:
+        merged["shards"] = 1
     return {k: v for k, v in merged.items() if k not in HOST_ONLY_PARAMS}

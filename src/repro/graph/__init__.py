@@ -22,6 +22,14 @@ from repro.graph.properties import (
 from repro.graph import generators
 from repro.graph.dynamic import DynamicGraph, GraphEvent
 from repro.graph.lfr import LFRGraph, lfr_graph
+from repro.graph.sharding import (
+    Shard,
+    ShardPlan,
+    build_shards,
+    partition_contiguous,
+    partition_greedy,
+    shard_support,
+)
 
 __all__ = [
     "Graph",
@@ -40,4 +48,10 @@ __all__ = [
     "GraphEvent",
     "LFRGraph",
     "lfr_graph",
+    "Shard",
+    "ShardPlan",
+    "build_shards",
+    "partition_contiguous",
+    "partition_greedy",
+    "shard_support",
 ]

@@ -1,0 +1,350 @@
+"""Edge-balanced graph sharding with boundary-halo tables.
+
+The scale path (PR 5) still materializes one CSR per process: every pool
+worker maps the *whole* graph, so per-worker memory grows with the input.
+This module partitions a :class:`~repro.graph.csr.Graph` into ``k``
+node-disjoint shards whose CSR slices each live in their own
+shared-memory segment set, plus the bookkeeping a shard-local detection
+round needs to talk across boundaries:
+
+* **Ownership** — every node belongs to exactly one shard. The default
+  :func:`partition_contiguous` cuts the node range at edge-balanced
+  boundaries over the CSR ``indptr`` (contiguous ranges keep the shard's
+  rows a literal slice of the parent arrays); :func:`partition_greedy`
+  assigns nodes to the least-loaded shard in degree-descending order
+  (classic LPT), trading contiguity for tighter edge balance on skewed
+  degree distributions.
+* **Ghosts** — a shard's CSR keeps one *local* row per owned node plus
+  one **empty** row per boundary neighbor owned elsewhere (a "ghost").
+  Ghost rows have no adjacency, so shard-local sweeps never iterate
+  them; they exist so the local ``indices`` stay in-range and so labels
+  of boundary neighbors have a well-defined local identity.
+* **Halo tables** — per shard, a reverse CSR mapping each ghost to the
+  *global* ids of the owned nodes adjacent to it. When a ghost's label
+  changes at an exchange barrier, the halo rows name exactly the owned
+  nodes that must reactivate — the only cross-shard traffic is the
+  compact ``(ghost_idx, label)`` batches plus these precomputed targets.
+
+Shards inherit the parent graph's lean/wide dtype policy, so a lean
+parent yields lean shard segments (each shard re-derives its index dtype
+from its own, smaller, node/entry counts).
+
+``REPRO_SHARDS`` sets the process-wide default shard count the same way
+``REPRO_WORKERS`` sets the worker count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = [
+    "SHARDS_ENV",
+    "default_shards",
+    "configured_shards",
+    "shard_support",
+    "partition_contiguous",
+    "partition_greedy",
+    "Shard",
+    "ShardPlan",
+    "build_shards",
+    "PARTITIONERS",
+]
+
+#: Environment variable that sets the default shard count (mirrors
+#: ``REPRO_WORKERS``; used by CI and the bench harness).
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Partitioner names accepted by :func:`build_shards` and the CLI.
+PARTITIONERS = ("contiguous", "greedy")
+
+
+def configured_shards() -> int | None:
+    """The ``REPRO_SHARDS`` value, or ``None`` when unset or malformed."""
+    raw = os.environ.get(SHARDS_ENV)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def default_shards() -> int:
+    """Default shard count: ``REPRO_SHARDS`` or 1 (monolithic)."""
+    configured = configured_shards()
+    return 1 if configured is None else configured
+
+
+def shard_support() -> dict:
+    """Shard capability metadata for ``--version`` and bench host blocks."""
+    return {
+        "supported": True,
+        "default": default_shards(),
+        "partitioners": list(PARTITIONERS),
+    }
+
+
+# ----------------------------------------------------------------------
+# Partitioners: node -> owning shard
+# ----------------------------------------------------------------------
+def partition_contiguous(graph: Graph, k: int) -> np.ndarray:
+    """Owner-shard per node from edge-balanced contiguous node ranges.
+
+    Cut points are placed where the CSR ``indptr`` crosses the ideal
+    per-shard entry count (``entries * i / k``), then nudged so every
+    shard owns at least one node. Deterministic, O(k log n).
+    """
+    k = _validate_k(graph, k)
+    n = graph.n
+    owner = np.zeros(n, dtype=np.int64)
+    if k == 1 or n == 0:
+        return owner
+    entries = int(graph.indices.size)
+    targets = (entries * np.arange(1, k, dtype=np.float64)) / k
+    cuts = np.searchsorted(graph.indptr, targets, side="left").astype(np.int64)
+    bounds = np.empty(k + 1, dtype=np.int64)
+    bounds[0], bounds[k] = 0, n
+    for i in range(1, k):
+        # Monotone and non-empty: each shard keeps >= 1 node, and the
+        # remaining shards must still fit in the remaining node range.
+        bounds[i] = min(max(int(cuts[i - 1]), bounds[i - 1] + 1), n - (k - i))
+    for s in range(k):
+        owner[bounds[s] : bounds[s + 1]] = s
+    return owner
+
+
+def partition_greedy(graph: Graph, k: int) -> np.ndarray:
+    """Degree-aware greedy (LPT) owner assignment.
+
+    Nodes are visited in degree-descending order (ties by node id, so the
+    assignment is deterministic) and placed on the currently least-loaded
+    shard, load = adjacency entries + 1. Balances edge counts tightly on
+    skewed (R-MAT-like) degree distributions at the cost of contiguity.
+    """
+    k = _validate_k(graph, k)
+    n = graph.n
+    owner = np.zeros(n, dtype=np.int64)
+    if k == 1 or n == 0:
+        return owner
+    degrees = np.diff(graph.indptr)
+    # Stable sort on -degree: equal degrees stay id-ascending.
+    order = np.argsort(-degrees, kind="stable")
+    heap = [(0, s) for s in range(k)]  # (load, shard) — ids break ties
+    heapq.heapify(heap)
+    loads = degrees[order] + 1
+    for pos in range(n):
+        load, s = heapq.heappop(heap)
+        owner[order[pos]] = s
+        heapq.heappush(heap, (load + int(loads[pos]), s))
+    return owner
+
+
+def _validate_k(graph: Graph, k: int) -> int:
+    if k < 1:
+        raise ValueError("shard count must be >= 1")
+    # Never more shards than nodes (each shard owns >= 1 node).
+    return max(1, min(int(k), graph.n)) if graph.n else 1
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One shard: a local CSR plus the global/ghost bookkeeping.
+
+    Attributes
+    ----------
+    index:
+        Shard id in ``[0, k)``.
+    graph:
+        Local CSR with ``n_owned + n_ghost`` rows. Rows ``[0, n_owned)``
+        are the owned nodes' full adjacencies (neighbors as local ids,
+        ghosts included); rows ``[n_owned, n_local)`` are the ghosts and
+        are **empty** — a ghost is a label source, never a sweep item.
+    owned_global:
+        Global ids of the owned nodes, ascending; local id ``i < n_owned``
+        is ``owned_global[i]``.
+    ghost_global:
+        Global ids of the ghosts, ascending; ghost ``j`` is local id
+        ``n_owned + j``.
+    ghost_owner:
+        Owning shard of each ghost (aligned with ``ghost_global``).
+    to_global:
+        ``concat(owned_global, ghost_global)`` — local id -> global id.
+    halo_indptr / halo_indices:
+        Reverse halo CSR: the owned nodes adjacent to ghost ``j`` are the
+        **global** ids ``halo_indices[halo_indptr[j]:halo_indptr[j+1]]``
+        (deduplicated). When ghost ``j``'s label changes at an exchange
+        barrier these are exactly the nodes to reactivate.
+    """
+
+    index: int
+    graph: Graph
+    owned_global: np.ndarray
+    ghost_global: np.ndarray
+    ghost_owner: np.ndarray
+    to_global: np.ndarray
+    halo_indptr: np.ndarray
+    halo_indices: np.ndarray
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.owned_global.size)
+
+    @property
+    def n_ghosts(self) -> int:
+        return int(self.ghost_global.size)
+
+    @property
+    def boundary_entries(self) -> int:
+        """Adjacency entries of owned nodes that point at ghosts."""
+        return int(np.count_nonzero(self.graph.indices >= self.n_owned))
+
+    def halo_targets(self, ghost_idx: np.ndarray) -> np.ndarray:
+        """Global ids of owned nodes adjacent to the given ghosts (concat)."""
+        ghost_idx = np.asarray(ghost_idx, dtype=np.int64)
+        if ghost_idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        counts = self.halo_indptr[ghost_idx + 1] - self.halo_indptr[ghost_idx]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        cum = np.cumsum(counts)
+        offsets = np.repeat(self.halo_indptr[ghost_idx] - cum + counts, counts)
+        pos = np.arange(total, dtype=np.int64) + offsets
+        return self.halo_indices[pos]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A full partitioning: shards plus the global owner map."""
+
+    shards: tuple[Shard, ...]
+    owner: np.ndarray
+    partitioner: str
+
+    @property
+    def k(self) -> int:
+        return len(self.shards)
+
+    @property
+    def ghosts_total(self) -> int:
+        return sum(s.n_ghosts for s in self.shards)
+
+    @property
+    def boundary_edges(self) -> int:
+        """Directed adjacency entries crossing a shard boundary."""
+        return sum(s.boundary_entries for s in self.shards)
+
+    def balance(self) -> list[int]:
+        """Owned adjacency entries per shard (the partitioner's objective)."""
+        return [
+            int(s.graph.indptr[s.n_owned]) for s in self.shards
+        ]
+
+
+def build_shards(
+    graph: Graph, k: int, partitioner: str = "contiguous"
+) -> ShardPlan:
+    """Partition ``graph`` into ``k`` shards with ghost rows + halo tables.
+
+    Fully vectorized per shard: the owned rows' adjacency entries are
+    gathered with one repeat/cumsum pass, neighbor ids are remapped to
+    local via two ``searchsorted`` probes (owned then ghost), and the
+    halo reverse CSR is built from the deduplicated (ghost, owned) pairs.
+    Shard graphs inherit the parent's dtype policy.
+    """
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r} (choose from {PARTITIONERS})"
+        )
+    k = _validate_k(graph, k)
+    owner = (
+        partition_contiguous(graph, k)
+        if partitioner == "contiguous"
+        else partition_greedy(graph, k)
+    )
+    indptr = np.asarray(graph.indptr, dtype=np.int64)
+    indices = np.asarray(graph.indices, dtype=np.int64)
+    counts_all = np.diff(indptr)
+    shards = []
+    for s in range(k):
+        owned = np.flatnonzero(owner == s).astype(np.int64)
+        n_owned = owned.size
+        counts = counts_all[owned]
+        total = int(counts.sum())
+        if total:
+            cum = np.cumsum(counts)
+            offsets = np.repeat(indptr[owned] - cum + counts, counts)
+            pos = np.arange(total, dtype=np.int64) + offsets
+            nbrs = indices[pos]
+            ws = graph.weights[pos]
+            row = np.repeat(np.arange(n_owned, dtype=np.int64), counts)
+        else:
+            pos = np.empty(0, dtype=np.int64)
+            nbrs = np.empty(0, dtype=np.int64)
+            ws = np.empty(0, dtype=graph.weights.dtype)
+            row = np.empty(0, dtype=np.int64)
+        foreign = owner[nbrs] != s if nbrs.size else np.zeros(0, dtype=bool)
+        ghost_global = np.unique(nbrs[foreign])
+        ghost_owner = owner[ghost_global]
+        n_local = n_owned + ghost_global.size
+        # Neighbor ids -> local: owned neighbors map into [0, n_owned),
+        # ghosts into [n_owned, n_local). Both id lists are ascending, so
+        # searchsorted is an exact inverse on members.
+        local_nbrs = np.empty(nbrs.size, dtype=np.int64)
+        if nbrs.size:
+            own_nbr = ~foreign
+            local_nbrs[own_nbr] = np.searchsorted(owned, nbrs[own_nbr])
+            local_nbrs[foreign] = n_owned + np.searchsorted(
+                ghost_global, nbrs[foreign]
+            )
+        local_indptr = np.zeros(n_local + 1, dtype=np.int64)
+        np.cumsum(counts, out=local_indptr[1 : n_owned + 1])
+        local_indptr[n_owned + 1 :] = local_indptr[n_owned]  # ghost rows: empty
+        shard_graph = Graph(
+            local_indptr,
+            local_nbrs,
+            ws,
+            name=f"{graph.name or 'graph'}#shard{s}of{k}",
+            dtype_policy=graph.dtype_policy,
+        )
+        # Halo reverse CSR over deduplicated (ghost_idx, owned global id)
+        # boundary pairs, rows grouped by ghost.
+        if foreign.any():
+            gidx = local_nbrs[foreign] - n_owned
+            src = owned[row[foreign]]
+            pairs = np.unique(
+                np.stack([gidx, src], axis=1), axis=0
+            )
+            halo_counts = np.bincount(pairs[:, 0], minlength=ghost_global.size)
+            halo_indptr = np.zeros(ghost_global.size + 1, dtype=np.int64)
+            np.cumsum(halo_counts, out=halo_indptr[1:])
+            halo_indices = np.ascontiguousarray(pairs[:, 1])
+        else:
+            halo_indptr = np.zeros(ghost_global.size + 1, dtype=np.int64)
+            halo_indices = np.empty(0, dtype=np.int64)
+        to_global = np.concatenate([owned, ghost_global])
+        for arr in (owned, ghost_global, ghost_owner, to_global, halo_indptr, halo_indices):
+            arr.setflags(write=False)
+        shards.append(
+            Shard(
+                index=s,
+                graph=shard_graph,
+                owned_global=owned,
+                ghost_global=ghost_global,
+                ghost_owner=ghost_owner,
+                to_global=to_global,
+                halo_indptr=halo_indptr,
+                halo_indices=halo_indices,
+            )
+        )
+    owner.setflags(write=False)
+    return ShardPlan(shards=tuple(shards), owner=owner, partitioner=partitioner)

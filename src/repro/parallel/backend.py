@@ -56,6 +56,7 @@ from repro.graph.csr import Graph
 
 __all__ = [
     "SharedGraph",
+    "SharedArrays",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -64,6 +65,7 @@ __all__ = [
     "shared_memory_available",
     "shm_degradation",
     "materialize",
+    "attach_graph_uncached",
     "shutdown_all",
 ]
 
@@ -217,6 +219,26 @@ class SharedGraph:
         """Whether the owner has released every shared-memory segment."""
         return self._owner and self._refs == 0
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the shared CSR payload (from the meta shapes)."""
+        return _meta_nbytes(self._meta)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of shared-memory segments backing this graph."""
+        return len(self._meta["arrays"])
+
+
+def _meta_nbytes(meta: dict) -> int:
+    total = 0
+    for _, dtype, shape in meta["arrays"]:
+        count = 1
+        for dim in shape:
+            count *= dim
+        total += count * np.dtype(dtype).itemsize
+    return total
+
 
 def _materialize_from_meta(meta: dict) -> Graph:
     """Attach to the named segments and build the graph (cached per process)."""
@@ -264,6 +286,177 @@ def materialize(graph_or_handle: "Graph | SharedGraph") -> Graph:
     if isinstance(graph_or_handle, SharedGraph):
         return graph_or_handle.graph()
     return graph_or_handle
+
+
+def attach_graph_uncached(handle: "SharedGraph") -> tuple[Graph, list]:
+    """Attach a shared graph *without* the per-process forever-cache.
+
+    :func:`materialize` caches attachments for the worker's lifetime —
+    right for a pool serving many tasks on few graphs, wrong for sharded
+    detection where a worker must hold at most one shard at a time.
+    Returns ``(graph, shms)``; the caller owns the mapping and must drop
+    every array view derived from ``graph`` **before** calling
+    ``_close_segments(shms, unlink=False)``, or the munmap silently
+    fails (``SharedMemory.close`` swallows ``BufferError``) and the
+    pages stay resident.
+    """
+    meta = handle._meta
+    bufs: list[np.ndarray] = []
+    attached: list = []
+    try:
+        for name, dtype, shape in meta["arrays"]:
+            shm = _attach_untracked(name)
+            attached.append(shm)
+            bufs.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf))
+    except Exception:
+        _close_segments(attached, unlink=False)
+        raise
+    graph = Graph(
+        bufs[0],
+        bufs[1],
+        bufs[2],
+        name=meta["name"],
+        dtype_policy=meta.get("dtype_policy", "wide"),
+    )
+    return graph, attached
+
+
+# ----------------------------------------------------------------------
+# Shared array bundles (sharded-detection state)
+# ----------------------------------------------------------------------
+class SharedArrays:
+    """A named bundle of arrays in shared memory (one segment per array).
+
+    The sharded detection driver ships per-shard state (global label and
+    activity arrays, local->global id maps) to pool workers by name
+    instead of by value. Same lifetime discipline as
+    :class:`SharedGraph`: the creator owns and refcounts the segments;
+    unpickled handles attach on first :meth:`arrays` call and give the
+    pages back with :meth:`close` (attachments are per-handle and
+    uncached — a shard worker must not accumulate segments it no longer
+    serves).
+
+    Owner-side views are writable (the driver updates labels between
+    rounds); attached views are read-only — workers read state, the
+    exchange barrier writes it.
+    """
+
+    __slots__ = ("_meta", "_shms", "_arrays", "_owner", "_refs", "_finalizer", "__weakref__")
+
+    def __init__(self, meta: dict, shms: list, arrays, owner: bool) -> None:
+        self._meta = meta
+        self._shms = shms
+        self._arrays = arrays
+        self._owner = owner
+        self._refs = 1 if owner else 0
+        self._finalizer = (
+            weakref.finalize(self, _close_segments, shms, True) if owner else None
+        )
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrays":
+        """Copy ``arrays`` into fresh shm segments (owner side, writable)."""
+        from multiprocessing import shared_memory
+
+        shms: list = []
+        metas: list[tuple[str, str, tuple[int, ...]]] = []
+        keys: list[str] = []
+        views: dict[str, np.ndarray] = {}
+        try:
+            for key, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                if arr.size:
+                    view[...] = arr
+                shms.append(shm)
+                metas.append((shm.name, arr.dtype.str, tuple(arr.shape)))
+                keys.append(key)
+                views[key] = view
+        except Exception:
+            _close_segments(shms, unlink=True)
+            raise
+        return cls({"arrays": metas, "keys": keys}, shms, views, owner=True)
+
+    def __reduce__(self):
+        return (_attach_shared_arrays, (self._meta,))
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The named views (owner: writable canon; attached: read-only)."""
+        if self._arrays is None:
+            views: dict[str, np.ndarray] = {}
+            attached: list = []
+            try:
+                for (name, dtype, shape), key in zip(
+                    self._meta["arrays"], self._meta["keys"]
+                ):
+                    shm = _attach_untracked(name)
+                    attached.append(shm)
+                    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+                    view.setflags(write=False)
+                    views[key] = view
+            except Exception:
+                _close_segments(attached, unlink=False)
+                raise
+            self._shms = attached
+            self._arrays = views
+        return self._arrays
+
+    def close(self) -> None:
+        """Drop an *attached* handle's views and unmap its segments.
+
+        No-op on the owner (use :meth:`release`). Views must not be used
+        after this call.
+        """
+        if self._owner:
+            return
+        self._arrays = None  # drop views first so close() can munmap
+        shms, self._shms = self._shms, []
+        _close_segments(shms, unlink=False)
+
+    # -- owner-side lifetime (mirrors SharedGraph) ----------------------
+    def acquire(self) -> "SharedArrays":
+        """Take another owner-side reference (no-op on attached handles)."""
+        if self._owner and self._refs > 0:
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop an owner-side reference; the last one unlinks the segments."""
+        if not self._owner or self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            self._arrays = None
+            _close_segments(self._shms, unlink=True)
+            self._shms = []
+
+    @property
+    def closed(self) -> bool:
+        """True once the owning side has released its last reference."""
+        return self._owner and self._refs == 0
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the shm segments backing this bundle (one per array)."""
+        return tuple(name for name, _, _ in self._meta["arrays"])
+
+    @property
+    def segment_count(self) -> int:
+        """Number of shared-memory segments backing this bundle."""
+        return len(self._meta["arrays"])
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes pinned in shared memory across all segments."""
+        return _meta_nbytes(self._meta)
+
+
+def _attach_shared_arrays(meta: dict) -> "SharedArrays":
+    """Unpickle hook: rebuild a (non-owning, unattached) handle."""
+    return SharedArrays(meta, [], None, owner=False)
 
 
 # ----------------------------------------------------------------------

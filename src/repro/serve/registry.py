@@ -184,12 +184,43 @@ class GraphRegistry:
                 "source": entry.source,
                 "npz_cached": bool(entry.npz_path),
                 "shm": entry.shared is not None,
+                "shm_segments": (
+                    entry.shared.segment_count if entry.shared is not None else 0
+                ),
+                "shm_bytes": (
+                    entry.shared.nbytes if entry.shared is not None else 0
+                ),
             }
 
     def list(self) -> list[dict[str, Any]]:
         """Metadata rows for every entry, LRU-oldest first."""
         with self._lock:
             return [self.describe(gid) for gid in self._entries]
+
+    def shm_stats(self) -> dict[str, Any]:
+        """Pinned shared-memory footprint: segment count and bytes.
+
+        ``per_graph`` lists every hot shm-backed entry with its segment
+        count and pinned bytes, so ``repro client stats`` can see exactly
+        what the registry holds resident (sharded pins included).
+        """
+        with self._lock:
+            per_graph = []
+            segments = 0
+            total = 0
+            for entry in self._entries.values():
+                if entry.shared is None:
+                    continue
+                per_graph.append(
+                    {
+                        "graph_id": entry.graph_id,
+                        "segments": entry.shared.segment_count,
+                        "bytes": entry.shared.nbytes,
+                    }
+                )
+                segments += entry.shared.segment_count
+                total += entry.shared.nbytes
+            return {"segments": segments, "bytes": total, "per_graph": per_graph}
 
     def segment_names(self) -> set[str]:
         """Names of every shm segment the registry currently owns."""

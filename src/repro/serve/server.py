@@ -291,6 +291,7 @@ class DetectionServer:
                 "graphs": len(self.registry.ids()),
                 "hot": sum(1 for row in self.registry.list() if row["state"] == "hot"),
                 "capacity": self.registry.capacity,
+                "shm": self.registry.shm_stats(),
             },
             "backend": {
                 "kind": backend.kind,

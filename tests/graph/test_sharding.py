@@ -1,0 +1,178 @@
+"""Sharding: partitioner determinism, shard CSR fidelity, halo tables."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBuilder, generators
+from repro.graph.sharding import (
+    PARTITIONERS,
+    build_shards,
+    configured_shards,
+    default_shards,
+    partition_contiguous,
+    partition_greedy,
+    shard_support,
+)
+
+
+def _graph():
+    return generators.rmat(10, 6, seed=9)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_deterministic(self, partitioner):
+        g = _graph()
+        fn = partition_contiguous if partitioner == "contiguous" else partition_greedy
+        a = fn(g, 4)
+        b = fn(g, 4)
+        assert np.array_equal(a, b)
+
+    def test_contiguous_ranges_are_contiguous(self):
+        g = _graph()
+        owner = partition_contiguous(g, 4)
+        # Owner ids never decrease over the node range.
+        assert np.all(np.diff(owner) >= 0)
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_every_shard_owns_a_node(self, partitioner, k):
+        g = _graph()
+        fn = partition_contiguous if partitioner == "contiguous" else partition_greedy
+        owner = fn(g, k)
+        assert set(np.unique(owner)) == set(range(k))
+
+    def test_greedy_balances_skewed_degrees(self):
+        g = _graph()  # R-MAT: heavy-tailed degrees
+        degrees = np.diff(g.indptr)
+        k = 4
+        loads_greedy = np.bincount(partition_greedy(g, k), weights=degrees + 1)
+        # LPT keeps the heaviest shard close to the mean load.
+        assert loads_greedy.max() <= 1.1 * loads_greedy.mean()
+
+    def test_k_clamped_to_node_count(self):
+        g = GraphBuilder(3).build()
+        plan = build_shards(g, 10)
+        assert plan.k == 3
+
+    def test_invalid_k_and_partitioner(self):
+        g = _graph()
+        with pytest.raises(ValueError):
+            partition_contiguous(g, 0)
+        with pytest.raises(ValueError):
+            build_shards(g, 2, partitioner="metis")
+
+    def test_empty_graph(self):
+        plan = build_shards(GraphBuilder(0).build(), 4)
+        assert plan.k == 1
+        assert plan.shards[0].n_owned == 0
+
+
+class TestShardStructure:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_local_csr_reconstructs_global_adjacency(self, partitioner, k):
+        g = _graph()
+        plan = build_shards(g, k, partitioner)
+        for shard in plan.shards:
+            sg = shard.graph
+            for local in range(shard.n_owned):
+                node = int(shard.owned_global[local])
+                lo, hi = int(sg.indptr[local]), int(sg.indptr[local + 1])
+                got_nbrs = shard.to_global[np.asarray(sg.indices[lo:hi])]
+                got_ws = np.asarray(sg.weights[lo:hi], dtype=np.float64)
+                glo, ghi = int(g.indptr[node]), int(g.indptr[node + 1])
+                want_nbrs = np.asarray(g.indices[glo:ghi], dtype=np.int64)
+                want_ws = np.asarray(g.weights[glo:ghi], dtype=np.float64)
+                assert np.array_equal(np.sort(got_nbrs), np.sort(want_nbrs))
+                assert np.allclose(
+                    got_ws[np.argsort(got_nbrs, kind="stable")],
+                    want_ws[np.argsort(want_nbrs, kind="stable")],
+                )
+
+    def test_ghost_rows_are_empty(self):
+        plan = build_shards(_graph(), 4)
+        for shard in plan.shards:
+            indptr = np.asarray(shard.graph.indptr)
+            ghost_rows = np.diff(indptr[shard.n_owned :])
+            assert not ghost_rows.any()
+
+    def test_ghosts_are_foreign_and_owner_is_right(self):
+        plan = build_shards(_graph(), 4)
+        for shard in plan.shards:
+            assert np.all(plan.owner[shard.ghost_global] != shard.index)
+            assert np.array_equal(
+                shard.ghost_owner, plan.owner[shard.ghost_global]
+            )
+
+    def test_ownership_is_a_partition(self):
+        g = _graph()
+        plan = build_shards(g, 4)
+        seen = np.concatenate([s.owned_global for s in plan.shards])
+        assert np.array_equal(np.sort(seen), np.arange(g.n))
+
+    def test_balance_sums_to_total_entries(self):
+        g = _graph()
+        plan = build_shards(g, 4)
+        assert sum(plan.balance()) == g.indices.size
+
+    def test_halo_names_exactly_the_boundary_sources(self):
+        g = _graph()
+        plan = build_shards(g, 4)
+        for shard in plan.shards:
+            for j in range(shard.n_ghosts):
+                ghost = int(shard.ghost_global[j])
+                targets = shard.halo_targets(np.array([j]))
+                # Expected: owned nodes with an edge to this ghost.
+                glo, ghi = int(g.indptr[ghost]), int(g.indptr[ghost + 1])
+                nbrs = np.asarray(g.indices[glo:ghi], dtype=np.int64)
+                want = np.unique(nbrs[plan.owner[nbrs] == shard.index])
+                assert np.array_equal(np.sort(targets), want)
+                assert np.all(plan.owner[targets] == shard.index)
+
+    def test_halo_targets_vectorized_matches_concat(self):
+        plan = build_shards(_graph(), 2)
+        shard = plan.shards[0]
+        if shard.n_ghosts < 3:
+            pytest.skip("not enough ghosts")
+        idx = np.array([0, shard.n_ghosts - 1, 1])
+        got = shard.halo_targets(idx)
+        want = np.concatenate([shard.halo_targets(np.array([i])) for i in idx])
+        assert np.array_equal(got, want)
+
+    def test_lean_policy_inherited(self):
+        g = generators.rmat(10, 6, seed=9, dtype_policy="lean")
+        plan = build_shards(g, 2)
+        for shard in plan.shards:
+            assert shard.graph.dtype_policy == "lean"
+            assert shard.graph.weights.dtype == np.float32
+            assert shard.graph.indices.dtype == np.int32
+
+    def test_boundary_entries_counts_ghost_pointers(self):
+        g = _graph()
+        plan = build_shards(g, 2)
+        # Every adjacency entry crossing the cut appears exactly once per
+        # direction, summed over shards.
+        owner = plan.owner
+        src = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        crossing = int(np.count_nonzero(owner[src] != owner[np.asarray(g.indices)]))
+        assert plan.boundary_edges == crossing
+
+
+class TestEnvDefaults:
+    def test_configured_and_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert configured_shards() is None
+        assert default_shards() == 1
+        monkeypatch.setenv("REPRO_SHARDS", "6")
+        assert configured_shards() == 6
+        assert default_shards() == 6
+        monkeypatch.setenv("REPRO_SHARDS", "junk")
+        assert configured_shards() is None
+
+    def test_shard_support_block(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        block = shard_support()
+        assert block["supported"] is True
+        assert block["default"] == 3
+        assert block["partitioners"] == list(PARTITIONERS)

@@ -127,3 +127,27 @@ def test_readd_replaces_entry(graph, graph_path):
         reg.add("x", graph_path)  # replace hot in-memory with cold path
         assert reg.describe("x")["state"] == "cold"
         assert len(reg.ids()) == 1
+
+
+def test_shm_stats_tracks_pinned_segments(graph, graph_path):
+    if not shared_memory_available():
+        pytest.skip("no shared memory on this host")
+    with GraphRegistry(capacity=2) as reg:
+        assert reg.shm_stats() == {"segments": 0, "bytes": 0, "per_graph": []}
+        reg.add("mem", graph)
+        reg.add("pp", graph_path)
+        reg.pin("pp")
+        stats = reg.shm_stats()
+        assert stats["segments"] == sum(
+            row["segments"] for row in stats["per_graph"]
+        )
+        assert stats["bytes"] == sum(row["bytes"] for row in stats["per_graph"])
+        assert {row["graph_id"] for row in stats["per_graph"]} == {"mem", "pp"}
+        assert stats["bytes"] > 0 and stats["segments"] > 0
+        # describe() mirrors the per-entry numbers.
+        row = reg.describe("pp")
+        assert row["shm_segments"] > 0 and row["shm_bytes"] > 0
+        reg.evict("pp")
+        after = reg.shm_stats()
+        assert {row["graph_id"] for row in after["per_graph"]} == {"mem"}
+        assert reg.describe("pp")["shm_segments"] == 0

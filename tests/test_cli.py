@@ -130,3 +130,18 @@ class TestInfoAndGenerate:
         rc = main(["detect", str(gen), "-a", "plm", "--dtype-policy", "lean"])
         assert rc == 0
         assert "modularity" in capsys.readouterr().out
+
+
+class TestSharding:
+    def test_detect_with_shards_matches_monolithic(self, graph_file, capsys):
+        rc = main(["detect", graph_file, "-a", "plp", "--shards", "2"])
+        assert rc == 0
+        assert "communities" in capsys.readouterr().out
+
+    def test_version_reports_shard_support(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "sharding: supported" in out
+        assert "contiguous" in out
