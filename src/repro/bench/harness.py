@@ -82,6 +82,7 @@ class ExperimentRow:
     racecheck: dict[str, int] | None = None
 
     def key(self) -> tuple[str, str]:
+        """(algorithm, network) pair identifying this matrix cell."""
         return (self.algorithm, self.network)
 
 

@@ -8,7 +8,14 @@ Condenses the per-network matrix into one point per algorithm:
   difference vs PLM (>0 better than PLM).
 
 The Pareto frontier contains every algorithm not dominated by another
-(faster *and* better)."""
+(faster *and* better).
+
+Two condensers share the :class:`ParetoPoint` geometry:
+:func:`pareto_scores` consumes the experiment harness's
+:class:`~repro.bench.harness.ExperimentRow` matrices (paper Figure 5),
+and :func:`quality_pareto_points` consumes the detector-zoo quality
+suite's benchmark entries (``BENCH_quality.json``), scoring NMI against
+ground truth where it exists and modularity elsewhere."""
 
 from __future__ import annotations
 
@@ -19,7 +26,13 @@ import numpy as np
 
 from repro.bench.harness import ExperimentRow, aggregate_rows
 
-__all__ = ["ParetoPoint", "pareto_scores", "pareto_frontier"]
+__all__ = [
+    "ParetoPoint",
+    "pareto_scores",
+    "pareto_frontier",
+    "quality_pareto_points",
+    "quality_pareto_report",
+]
 
 
 @dataclass(frozen=True)
@@ -76,3 +89,69 @@ def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
         for p in points
         if not any(q.dominates(p) for q in points if q is not p)
     ]
+
+
+def quality_pareto_points(
+    entries: Sequence[dict], baseline: str = "PLM"
+) -> list[ParetoPoint]:
+    """Condense quality-suite entries into one point per detector.
+
+    ``entries`` are ``BENCH_quality.json`` benchmark records (see
+    :func:`repro.bench.quality.run_quality_suite`). Per detector:
+
+    * **time score** — geometric mean over the instances of the
+      *simulated*-seconds ratio vs the baseline (1.0 = as fast as PLM,
+      <1 faster); simulated time keeps the condensation deterministic
+      and machine-independent,
+    * **quality score** — mean difference vs the baseline of NMI on
+      ground-truth instances and modularity on the rest (>0 better than
+      PLM). Both metrics live on comparable unit scales, so the mean is
+      a meaningful "quality edge" summary.
+    """
+    index = {(e["algorithm"], e["graph"]): e for e in entries}
+    algorithms = sorted({e["algorithm"] for e in entries})
+    graphs = sorted({e["graph"] for e in entries})
+    points = []
+    for alg in algorithms:
+        ratios, diffs = [], []
+        for gname in graphs:
+            row = index.get((alg, gname))
+            base = index.get((baseline, gname))
+            if row is None or base is None:
+                continue
+            if base["sim_time_s"] > 0 and row["sim_time_s"] > 0:
+                ratios.append(row["sim_time_s"] / base["sim_time_s"])
+            if "nmi" in row and "nmi" in base:
+                diffs.append(row["nmi"] - base["nmi"])
+            else:
+                diffs.append(row["modularity"] - base["modularity"])
+        if not diffs:
+            continue
+        time_score = float(np.exp(np.mean(np.log(ratios)))) if ratios else np.inf
+        points.append(ParetoPoint(alg, time_score, float(np.mean(diffs))))
+    return points
+
+
+def quality_pareto_report(
+    entries: Sequence[dict], baseline: str = "PLM"
+) -> dict:
+    """JSON-serializable Pareto block for a quality document.
+
+    ``points`` carries every detector's condensed scores; ``frontier``
+    names the non-dominated detectors (sorted by time score, fastest
+    first).
+    """
+    points = quality_pareto_points(entries, baseline=baseline)
+    frontier = sorted(pareto_frontier(points), key=lambda p: p.time_score)
+    return {
+        "baseline": baseline,
+        "points": [
+            {
+                "algorithm": p.algorithm,
+                "time_score": p.time_score,
+                "mod_score": p.mod_score,
+            }
+            for p in points
+        ],
+        "frontier": [p.algorithm for p in frontier],
+    }

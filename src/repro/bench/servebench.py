@@ -240,6 +240,7 @@ def run_serve_suite(
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the serve benchmark preset and write results."""
     parser = argparse.ArgumentParser(
         prog="repro.bench.servebench", description=__doc__.split("\n")[0]
     )

@@ -31,7 +31,13 @@ Run locally::
 
     PYTHONPATH=src python -m repro.bench.wallclock kernels --out BENCH_kernels.json
     PYTHONPATH=src python -m repro.bench.wallclock e2e --workers 4 --out BENCH_e2e.json
+    PYTHONPATH=src python -m repro.bench.wallclock quality --out BENCH_quality.json
     PYTHONPATH=src python -m repro.bench.wallclock validate BENCH_kernels.json
+
+The ``quality`` subcommand runs the detector-zoo quality-vs-speed matrix
+(:mod:`repro.bench.quality`): every detector × every generator category,
+NMI/ARI against planted ground truth plus modularity, condensed into a
+Pareto block (``--min-nmi`` is the CI quality-smoke floor).
 """
 
 from __future__ import annotations
@@ -926,9 +932,9 @@ def validate_document(doc: dict) -> list[str]:
     problems: list[str] = []
     if doc.get("schema") != SCHEMA:
         problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
-    if doc.get("kind") not in ("kernels", "e2e", "scale", "serve"):
+    if doc.get("kind") not in ("kernels", "e2e", "scale", "serve", "quality"):
         problems.append(
-            "kind must be 'kernels', 'e2e', 'scale' or 'serve', "
+            "kind must be 'kernels', 'e2e', 'scale', 'serve' or 'quality', "
             f"got {doc.get('kind')!r}"
         )
     if not isinstance(doc.get("host"), dict):
@@ -973,10 +979,74 @@ def validate_document(doc: dict) -> list[str]:
                     problems.append(
                         f"benchmarks[{i}].{key} must be a non-negative number"
                     )
+        if doc.get("kind") == "quality":
+            problems.extend(_validate_quality_entry(entry, i))
+    if doc.get("kind") == "quality":
+        problems.extend(_validate_pareto_block(doc.get("pareto")))
+    return problems
+
+
+def _validate_quality_entry(entry: dict, i: int) -> list[str]:
+    """Schema checks specific to detector-zoo quality entries."""
+    from repro.bench.quality import TRUTH_CATEGORIES
+
+    problems = []
+    for key in ("algorithm", "category"):
+        if not isinstance(entry.get(key), str) or not entry.get(key):
+            problems.append(
+                f"benchmarks[{i}].{key} must be a non-empty string"
+            )
+    for key in ("sim_time_s", "modularity"):
+        if not isinstance(entry.get(key), (int, float)):
+            problems.append(f"benchmarks[{i}].{key} must be a number")
+    communities = entry.get("communities")
+    if not isinstance(communities, int) or communities < 1:
+        problems.append(
+            f"benchmarks[{i}].communities must be a positive integer"
+        )
+    if entry.get("category") in TRUTH_CATEGORIES:
+        # Ground-truth instances must score both agreement metrics.
+        nmi = entry.get("nmi")
+        if not isinstance(nmi, (int, float)) or not 0.0 <= nmi <= 1.0:
+            problems.append(f"benchmarks[{i}].nmi must be a number in [0, 1]")
+        ari = entry.get("ari")
+        if not isinstance(ari, (int, float)) or not -1.0 <= ari <= 1.0:
+            problems.append(f"benchmarks[{i}].ari must be a number in [-1, 1]")
+    return problems
+
+
+def _validate_pareto_block(pareto: Any) -> list[str]:
+    """Schema checks for the quality document's Pareto condensation."""
+    if not isinstance(pareto, dict):
+        return ["quality documents need a 'pareto' block"]
+    problems = []
+    points = pareto.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append("pareto.points must be a non-empty list")
+        points = []
+    algorithms = set()
+    for j, point in enumerate(points):
+        if not isinstance(point.get("algorithm"), str):
+            problems.append(f"pareto.points[{j}].algorithm must be a string")
+            continue
+        algorithms.add(point["algorithm"])
+        for key in ("time_score", "mod_score"):
+            if not isinstance(point.get(key), (int, float)):
+                problems.append(f"pareto.points[{j}].{key} must be a number")
+    frontier = pareto.get("frontier")
+    if not isinstance(frontier, list) or not frontier:
+        problems.append("pareto.frontier must be a non-empty list")
+    else:
+        for alg in frontier:
+            if alg not in algorithms:
+                problems.append(
+                    f"pareto.frontier names unknown algorithm {alg!r}"
+                )
     return problems
 
 
 def write_document(doc: dict, path: str) -> None:
+    """Write a benchmark document as stable, human-diffable JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=False)
         fh.write("\n")
@@ -1006,6 +1076,10 @@ def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
             extra += f"  loop={e['loop_wall_s']:.3f}s  gen x{e['gen_speedup']:.0f}"
         if e.get("peak_rss_mb") is not None:
             extra += f"  peak={e['peak_rss_mb']:.0f}MiB"
+        if "modularity" in e:
+            extra += f"  sim={e['sim_time_s']:.4f}s  mod={e['modularity']:.3f}"
+        if "nmi" in e:
+            extra += f"  nmi={e['nmi']:.3f}  ari={e['ari']:.3f}"
         if e.get("name") == "plp_sharded_ab":
             worker = e.get("worker_peak_rss_mb")
             mono = e.get("mono_worker_peak_rss_mb")
@@ -1078,6 +1152,22 @@ def main(argv: list[str] | None = None) -> int:
         "canonical-label agreement AND sharded per-worker peak RSS "
         "strictly below the monolithic run — the CI shard-smoke pin",
     )
+    q = sub.add_parser(
+        "quality", help="run the detector-zoo quality-vs-speed matrix"
+    )
+    q.add_argument("--preset", default="full", choices=["smoke", "full"])
+    q.add_argument("--repeats", type=int, default=1)
+    q.add_argument("--threads", type=int, default=32)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--out", default="BENCH_quality.json")
+    q.add_argument("--baseline", default=None)
+    q.add_argument(
+        "--min-nmi",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any detector's NMI on the planted-partition "
+        "instance falls below this floor — the CI quality-smoke pin",
+    )
     v = sub.add_parser("validate", help="validate BENCH_*.json schema")
     v.add_argument("files", nargs="+")
     args = parser.parse_args(argv)
@@ -1111,17 +1201,57 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             kernel_backend=args.kernel_backend,
         )
+    elif args.command == "quality":
+        from repro.bench.pareto import quality_pareto_report
+        from repro.bench.quality import run_quality_suite
+
+        entries = run_quality_suite(
+            args.preset,
+            repeats=args.repeats,
+            threads=args.threads,
+            seed=args.seed,
+        )
     else:
         entries = run_scale_suite(
             args.preset, workers=args.workers, dtype_policy=args.dtype_policy
         )
-    doc = build_document(args.command, args.preset, entries, workers=args.workers)
+    workers = getattr(args, "workers", None)
+    doc = build_document(args.command, args.preset, entries, workers=workers)
+    if args.command == "quality":
+        doc["pareto"] = quality_pareto_report(entries)
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as fh:
             doc = merge_baseline(doc, json.load(fh))
     write_document(doc, args.out)
     print(_format_rows(doc["benchmarks"]))
     print(f"wrote {args.out}")
+    if args.command == "quality":
+        pareto = doc["pareto"]
+        print(f"\nPareto condensation (baseline {pareto['baseline']}):")
+        frontier = set(pareto["frontier"])
+        for p in pareto["points"]:
+            marker = "*" if p["algorithm"] in frontier else " "
+            print(
+                f" {marker} {p['algorithm']:>12s}  "
+                f"time x{p['time_score']:.3f}  "
+                f"quality {p['mod_score']:+.4f}"
+            )
+        print(f"frontier: {', '.join(pareto['frontier'])}")
+        if args.min_nmi is not None:
+            failed = [
+                e
+                for e in entries
+                if e["category"] == "planted"
+                and e.get("nmi", 0.0) < args.min_nmi
+            ]
+            if failed:
+                for e in failed:
+                    print(
+                        f"FAIL: {e['algorithm']} NMI {e.get('nmi', 0.0):.3f} "
+                        f"on {e['graph']} below floor {args.min_nmi}"
+                    )
+                return 1
+            print(f"quality ok: all planted-partition NMI >= {args.min_nmi}")
     if args.command == "scale" and args.min_gen_eps is not None:
         gen = next(e for e in entries if e["name"] == "rmat_generate")
         if gen["edges_per_s"] < args.min_gen_eps:

@@ -76,9 +76,12 @@ class _VersionAction(argparse.Action):
 
     def __call__(self, parser, namespace, values, option_string=None):
         import repro
-        from repro.community import kernel_backends
+        from repro.community import ALGORITHM_NAMES, kernel_backends
 
         print(f"repro {repro.__version__}")
+        # Enumerated from the factory registry, never hard-coded: a
+        # detector registered in _BUILDERS appears here automatically.
+        print(f"algorithms: {', '.join(ALGORITHM_NAMES)}")
         info = kernel_backends()
         print(f"kernel backends (default: {info['default']}):")
         for name in ("numpy", "numba"):

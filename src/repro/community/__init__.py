@@ -29,11 +29,13 @@ from repro.community.factory import (
     canonical_params,
     make_detector,
 )
+from repro.community.grappolo import Grappolo
 from repro.community.overlapping import OLP, OverlappingResult
 from repro.community.plp import PLP
 from repro.community.plm import PLM, PLMR
 from repro.community.epp import EPP
 from repro.community.sharded import ShardedPLP
+from repro.community.synclouvain import SyncLouvain
 from repro.community.louvain import Louvain
 from repro.community.baselines.clu import CLU
 from repro.community.baselines.cel import CEL
@@ -59,6 +61,8 @@ __all__ = [
     "PLM",
     "PLMR",
     "EPP",
+    "Grappolo",
+    "SyncLouvain",
     "Louvain",
     "CLU",
     "CEL",

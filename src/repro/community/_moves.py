@@ -1,0 +1,113 @@
+"""Snapshot-pure Louvain move decisions with the minimum-label tie-break.
+
+Both detector-zoo Louvain variants added on top of PLM — the
+Grappolo-style colored Louvain of Lu & Halappanavar (arXiv:1410.1237)
+and the synchronised Louvain of Chiêm et al. (arXiv:1702.04645) — share
+one decision rule: every node picks the neighboring community with the
+maximal modularity gain *evaluated against a snapshot of community
+state*, breaking gain ties toward the **minimum community label** (the
+Lu/Halappanavar convergence heuristic). Because the decision reads only
+the snapshot, it is a pure function of ``(node, snapshot)`` — chunking,
+schedules, thread counts and worker counts cannot change it, which is
+what buys both detectors their byte-identical determinism contract
+(see docs/DETECTORS.md).
+
+The gain formula is the paper's closed form, identical to PLM's::
+
+    delta = (w(u,D) - w(u,C\\u)) / w(E)
+          + gamma * vol(u) * (vol(C\\u) - vol(D)) / (2 w(E)^2)
+
+The own-community row can never win: its weight term is exactly ``0.0``
+and its volume term is ``<= 0.0`` bit-for-bit (same argument as in
+:mod:`repro.community.plm`), so no explicit exclusion is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community._kernels import group_from_gather
+
+__all__ = ["best_sync_moves"]
+
+#: Strict-improvement threshold shared by the sync-move detectors (same
+#: epsilon PLM uses to reject float-noise "gains").
+GAIN_EPS = 1e-15
+
+
+def best_sync_moves(
+    nodes: np.ndarray,
+    seg: np.ndarray,
+    nbrs: np.ndarray,
+    ws: np.ndarray,
+    labels: np.ndarray,
+    comm_vol: np.ndarray,
+    vol_u: np.ndarray,
+    omega: float,
+    gamma: float,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Best positive-gain move per node against snapshot community state.
+
+    Parameters
+    ----------
+    nodes:
+        Node ids under evaluation (one decision each).
+    seg / nbrs / ws:
+        Pre-gathered neighborhoods of ``nodes`` (row ``i`` of ``seg``
+        maps a neighbor entry back to position ``seg[i]`` in ``nodes``).
+    labels:
+        Label per node — the snapshot the decision is evaluated against.
+    comm_vol:
+        Community volume per label id, *consistent with* ``labels``.
+    vol_u:
+        Node volume per position (``volumes[nodes]``).
+    omega / gamma:
+        Total edge weight and modularity resolution.
+    width:
+        Exclusive upper bound on label values (labels are node ids, so
+        callers pass ``n``); lets the group-by skip its range scan.
+
+    Returns
+    -------
+    ``(pos, dst)`` — positions into ``nodes`` that should move and their
+    target labels — or ``None`` when no node improves. Gain ties resolve
+    to the smallest target label (groups are label-ascending per node,
+    and the *first* row of a tied run wins).
+    """
+    if seg.size == 0:
+        return None
+    groups = group_from_gather(seg, labels[nbrs], ws, width=width)
+    gseg, glab, gw = groups.gseg, groups.glab, groups.gw
+    cur = labels[nodes]
+    # Rows pointing at the node's own community carry omega(u, C\u).
+    own = glab == cur[gseg]
+    w_cur = np.zeros(nodes.size, dtype=np.float64)
+    w_cur[gseg[own]] = gw[own]
+    vol_c_wo_u = comm_vol[cur] - vol_u
+    delta = (gw - w_cur[gseg]) / omega + (
+        gamma * vol_u[gseg] * (vol_c_wo_u[gseg] - comm_vol[glab])
+        / (2.0 * omega * omega)
+    )
+    rows_p = np.flatnonzero(delta > GAIN_EPS)
+    if rows_p.size == 0:
+        return None
+    # Segmented argmax over the positive rows; ``np.maximum`` returns an
+    # operand bit-for-bit, so the equality probe against the running max
+    # is exact. Rows are label-ascending within a segment, so taking the
+    # *first* row tied at the max is the minimum-label tie-break.
+    seg_p = gseg[rows_p]
+    delta_p = delta[rows_p]
+    run_start = np.empty(seg_p.size, dtype=bool)
+    run_start[0] = True
+    np.not_equal(seg_p[1:], seg_p[:-1], out=run_start[1:])
+    sstarts = np.flatnonzero(run_start)
+    run_max = np.maximum.reduceat(delta_p, sstarts)
+    run_idx = np.cumsum(run_start) - 1
+    at_max = np.flatnonzero(delta_p == run_max[run_idx])
+    seg_at = seg_p[at_max]
+    is_first = np.empty(seg_at.size, dtype=bool)
+    is_first[0] = True
+    np.not_equal(seg_at[1:], seg_at[:-1], out=is_first[1:])
+    win = rows_p[at_max[is_first]]
+    return seg_at[is_first], glab[win]

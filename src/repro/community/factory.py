@@ -22,10 +22,12 @@ from repro.community.baselines.clu import CLU
 from repro.community.baselines.cnm import CNM
 from repro.community.baselines.rg import RG
 from repro.community.epp import EPP
+from repro.community.grappolo import Grappolo
 from repro.community.louvain import Louvain
 from repro.community.plm import PLM, PLMR
 from repro.community.plp import PLP
 from repro.community.sharded import ShardedPLP
+from repro.community.synclouvain import SyncLouvain
 from repro.graph.sharding import configured_shards
 
 __all__ = ["ALGORITHM_NAMES", "DEFAULT_PARAMS", "make_detector", "canonical_params"]
@@ -100,6 +102,14 @@ _BUILDERS = {
         workers=p["workers"],
         kernel_backend=p["kernel_backend"],
         shards=p["shards"],
+    ),
+    # Detector-zoo Louvain variants (kernel_backend/workers are host-only
+    # no-ops for these: both are vectorized-NumPy, in-process only).
+    "grappolo": lambda p: Grappolo(
+        threads=p["threads"], gamma=p["gamma"], seed=p["seed"]
+    ),
+    "slouvain": lambda p: SyncLouvain(
+        threads=p["threads"], gamma=p["gamma"], seed=p["seed"]
     ),
     "louvain": lambda p: Louvain(gamma=p["gamma"], seed=p["seed"]),
     "clu": lambda p: CLU(threads=p["threads"], seed=p["seed"]),

@@ -21,6 +21,7 @@ import time
 from typing import Any, Callable
 
 from repro.community.backends import kernel_backends
+from repro.community.factory import ALGORITHM_NAMES
 from repro.parallel.backend import resolve_backend, shm_degradation, shutdown_all
 from repro.serve.jobs import JobQueue, JobTimeout, QueueFull
 from repro.serve.protocol import (
@@ -300,6 +301,9 @@ class DetectionServer:
                 "degraded": shm_degradation(),
             },
             "kernel_backends": kernel_backends(),
+            # Enumerated from the factory registry, never hard-coded: a
+            # detector registered in _BUILDERS is served automatically.
+            "algorithms": list(ALGORITHM_NAMES),
         }
 
     @staticmethod

@@ -1,0 +1,161 @@
+"""Detector-zoo quality matrix — coverage, schema, Pareto condensation.
+
+The smoke preset runs the real matrix once per module (it is the same
+code path CI's quality-smoke job pins); the committed
+``BENCH_quality.json`` document is validated against the schema and the
+ISSUE's acceptance criteria (NMI/ARI for every detector on the planted
+instance, a non-PLM detector on the frontier)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.pareto import (
+    ParetoPoint,
+    pareto_frontier,
+    quality_pareto_points,
+    quality_pareto_report,
+)
+from repro.bench.quality import (
+    DETECTORS,
+    TRUTH_CATEGORIES,
+    quality_graphs,
+    run_quality_suite,
+)
+from repro.bench.wallclock import build_document, validate_document
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return run_quality_suite("smoke", repeats=1, threads=8)
+
+
+class TestMatrixCoverage:
+    def test_zoo_is_complete(self):
+        assert set(DETECTORS) == {
+            "PLP", "PLM", "PLMR", "EPP", "OLP", "DPLP", "SPLP",
+            "Grappolo", "SyncLouvain",
+        }
+
+    def test_every_detector_runs_on_every_graph(self, entries):
+        graphs = quality_graphs("smoke")
+        assert len(entries) == len(DETECTORS) * len(graphs)
+        cells = {(e["algorithm"], e["graph"]) for e in entries}
+        assert len(cells) == len(entries)
+        for alg in DETECTORS:
+            for _, _, graph, _ in graphs:
+                assert (alg, graph.name) in cells
+
+    def test_truth_categories_score_agreement_metrics(self, entries):
+        for e in entries:
+            if e["category"] in TRUTH_CATEGORIES:
+                assert 0.0 <= e["nmi"] <= 1.0
+                assert -1.0 <= e["ari"] <= 1.0
+            else:
+                assert "nmi" not in e and "ari" not in e
+            assert isinstance(e["modularity"], float)
+            assert e["sim_time_s"] > 0
+            assert e["communities"] >= 1
+
+    def test_planted_partition_recovered_by_all_detectors(self, entries):
+        for e in entries:
+            if e["category"] == "planted":
+                assert e["nmi"] >= 0.9, (e["algorithm"], e["nmi"])
+
+    def test_deterministic_given_seed(self):
+        a = run_quality_suite("smoke", repeats=1, threads=8)
+        b = run_quality_suite("smoke", repeats=1, threads=8)
+        strip = lambda es: [
+            {k: v for k, v in e.items() if k != "wall_s"} for e in es
+        ]
+        assert strip(a) == strip(b)
+
+
+class TestDocumentSchema:
+    def test_quality_document_validates(self, entries):
+        doc = build_document("quality", "smoke", entries)
+        doc["pareto"] = quality_pareto_report(entries)
+        assert validate_document(doc) == []
+
+    def test_missing_pareto_block_rejected(self, entries):
+        doc = build_document("quality", "smoke", entries)
+        problems = validate_document(doc)
+        assert any("pareto" in p for p in problems)
+
+    def test_missing_nmi_on_truth_category_rejected(self, entries):
+        bad = [dict(e) for e in entries]
+        for e in bad:
+            e.pop("nmi", None)
+        doc = build_document("quality", "smoke", bad)
+        doc["pareto"] = quality_pareto_report(entries)
+        problems = validate_document(doc)
+        assert any(".nmi" in p for p in problems)
+
+    def test_frontier_must_name_known_algorithms(self, entries):
+        doc = build_document("quality", "smoke", entries)
+        doc["pareto"] = quality_pareto_report(entries)
+        doc["pareto"]["frontier"] = ["NotADetector"]
+        problems = validate_document(doc)
+        assert any("NotADetector" in p for p in problems)
+
+    def test_quality_kind_accepted(self, entries):
+        doc = build_document("quality", "smoke", entries)
+        doc["pareto"] = quality_pareto_report(entries)
+        assert doc["kind"] == "quality"
+        assert validate_document(doc) == []
+
+
+class TestPareto:
+    def test_baseline_scores_one(self, entries):
+        points = {p.algorithm: p for p in quality_pareto_points(entries)}
+        assert points["PLM"].time_score == pytest.approx(1.0)
+        assert points["PLM"].mod_score == pytest.approx(0.0)
+
+    def test_every_detector_gets_a_point(self, entries):
+        points = quality_pareto_points(entries)
+        assert {p.algorithm for p in points} == set(DETECTORS)
+
+    def test_frontier_contains_non_plm_detector(self, entries):
+        report = quality_pareto_report(entries)
+        assert "PLM" in report["frontier"]
+        assert set(report["frontier"]) - {"PLM"}
+
+    def test_domination_geometry(self):
+        fast_bad = ParetoPoint("a", 0.5, -0.1)
+        slow_good = ParetoPoint("b", 2.0, 0.1)
+        slow_bad = ParetoPoint("c", 2.5, -0.2)
+        points = [fast_bad, slow_good, slow_bad]
+        front = pareto_frontier(points)
+        assert fast_bad in front and slow_good in front
+        assert slow_bad not in front
+
+
+class TestCommittedDocument:
+    """The repo-root BENCH_quality.json must stay valid and complete."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        path = REPO_ROOT / "BENCH_quality.json"
+        assert path.exists(), "BENCH_quality.json must be committed"
+        return json.loads(path.read_text())
+
+    def test_schema_valid(self, doc):
+        assert validate_document(doc) == []
+        assert doc["kind"] == "quality"
+
+    def test_nmi_ari_for_every_detector_on_planted(self, doc):
+        planted = [
+            e for e in doc["benchmarks"] if e["category"] == "planted"
+        ]
+        assert {e["algorithm"] for e in planted} == set(DETECTORS)
+        for e in planted:
+            assert "nmi" in e and "ari" in e
+
+    def test_frontier_lists_non_plm_detector(self, doc):
+        frontier = doc["pareto"]["frontier"]
+        assert set(frontier) - {"PLM"}

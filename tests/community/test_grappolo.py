@@ -1,0 +1,239 @@
+"""Grappolo (colored parallel Louvain) — determinism, coloring, quality.
+
+The detector's contract is stronger than PLM's: distance-1 coloring
+makes concurrent moves structurally conflict-free, so results must be
+byte-identical across thread counts, schedules and chunk permutations,
+and a racecheck run must be *completely* clean (empty whitelist — not
+even benign races)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import Grappolo, make_detector
+from repro.community.factory import canonical_params
+from repro.community.grappolo import _vertex_following, color_graph
+from repro.community.plm import PLM
+from repro.graph import generators
+from repro.graph.csr import Graph
+from repro.graph.lfr import lfr_graph
+from repro.parallel import verify_schedule_independence
+from repro.parallel.racecheck import RaceChecker
+from repro.parallel.runtime import ParallelRuntime
+from repro.partition.compare import normalized_mutual_information
+from repro.partition.quality import modularity
+
+
+@pytest.fixture(scope="module")
+def planted():
+    graph, truth = generators.planted_partition(300, 6, 0.3, 0.01, seed=7)
+    return graph, truth
+
+
+SCHEDULES = ("static", "dynamic", "guided")
+
+
+class TestColoring:
+    def test_proper_and_complete(self, planted):
+        graph, _ = planted
+        colors, num_colors = color_graph(graph, seed=3)
+        assert colors.shape == (graph.n,)
+        assert colors.min() >= 0
+        assert num_colors == colors.max() + 1
+        us, vs, _ = graph.edge_array()
+        non_loop = us != vs
+        assert not np.any(colors[us[non_loop]] == colors[vs[non_loop]])
+
+    def test_deterministic_given_seed(self, planted):
+        graph, _ = planted
+        a, _ = color_graph(graph, seed=5)
+        b, _ = color_graph(graph, seed=5)
+        c, _ = color_graph(graph, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)  # priorities differ
+
+    def test_handles_self_loops_and_isolated_nodes(self):
+        # node 0 isolated; nodes 1-2 joined; node 3 has only a self-loop.
+        indptr = np.array([0, 0, 1, 2, 3], dtype=np.int64)
+        indices = np.array([2, 1, 3], dtype=np.int64)
+        weights = np.ones(3, dtype=np.float64)
+        graph = Graph(indptr, indices, weights, "loops")
+        colors, num_colors = color_graph(graph, seed=0)
+        assert colors.min() >= 0
+        assert colors[1] != colors[2]
+        assert num_colors >= 2
+
+
+class TestVertexFollowing:
+    def test_degree_one_nodes_follow_their_neighbor(self):
+        # Star: hub 0 with leaves 1..4 — all leaves follow the hub.
+        indptr = np.array([0, 4, 5, 6, 7, 8], dtype=np.int64)
+        indices = np.array([1, 2, 3, 4, 0, 0, 0, 0], dtype=np.int64)
+        graph = Graph(indptr, indices, np.ones(8), "star")
+        follow = _vertex_following(graph)
+        assert follow is not None
+        assert np.array_equal(follow[1:], np.zeros(4, dtype=np.int64))
+
+    def test_mutual_pair_collapses_to_smaller_id(self):
+        # Isolated edge 2-3: both degree 1, both follow min(2, 3) = 2.
+        indptr = np.array([0, 0, 0, 1, 2], dtype=np.int64)
+        indices = np.array([3, 2], dtype=np.int64)
+        graph = Graph(indptr, indices, np.ones(2), "pair")
+        follow = _vertex_following(graph)
+        assert follow is not None
+        assert follow[2] == 2 and follow[3] == 2
+
+    def test_no_followable_vertices_returns_none(self, planted):
+        graph, _ = planted  # planted partition has min degree >> 1
+        assert _vertex_following(graph) is None
+
+    def test_following_shrinks_first_level(self):
+        rng = np.random.default_rng(0)
+        base, _ = generators.planted_partition(150, 3, 0.3, 0.02, seed=3)
+        # Attach 30 pendant vertices to random hosts.
+        hosts = rng.integers(0, 150, size=30)
+        us, vs, _ = base.edge_array()
+        us = np.concatenate([us, hosts])
+        vs = np.concatenate([vs, np.arange(150, 180)])
+        order = np.argsort(np.concatenate([us, vs]), kind="stable")
+        src = np.concatenate([us, vs])[order]
+        dst = np.concatenate([vs, us])[order]
+        indptr = np.zeros(181, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        indptr = np.cumsum(indptr)
+        graph = Graph(indptr, dst, np.ones(dst.size), "pendants")
+        result = Grappolo(threads=4, seed=1).run(graph)
+        assert result.info["vertex_following_merged"] == 30
+        no_vf = Grappolo(threads=4, seed=1, vertex_following=False).run(graph)
+        assert no_vf.info["vertex_following_merged"] == 0
+        # Both find comparable quality despite the different first level.
+        assert abs(
+            modularity(graph, result.partition.labels)
+            - modularity(graph, no_vf.partition.labels)
+        ) < 0.05
+        # Every pendant vertex shares its host's community.
+        labels = result.partition.labels
+        assert np.array_equal(labels[np.arange(150, 180)], labels[hosts])
+
+
+class TestDeterminism:
+    def test_byte_identity_across_thread_counts(self, planted):
+        graph, _ = planted
+        base = Grappolo(threads=1, seed=3).run(graph).partition.labels
+        for threads in (2, 4, 32):
+            labels = Grappolo(threads=threads, seed=3).run(graph).partition.labels
+            assert np.array_equal(base, labels)
+
+    def test_strict_schedule_independence(self, planted):
+        graph, _ = planted
+        report = verify_schedule_independence(
+            lambda sched, workers: Grappolo(threads=4, schedule=sched, seed=3),
+            graph,
+            schedules=SCHEDULES,
+            threads=(1, 4),
+            permutations=(None, 0, 1),
+            strict=True,
+        )
+        assert report.independent
+        assert report.max_modularity_spread == 0.0
+
+    def test_racecheck_completely_clean(self, planted):
+        graph, _ = planted
+        runtime = ParallelRuntime(threads=4, racecheck=RaceChecker())
+        result = Grappolo(threads=4, seed=3).run(graph, runtime=runtime)
+        rc = result.info["racecheck"]
+        assert rc["loops"] > 0
+        # Empty whitelist by construction: not a single event of any
+        # class, benign or fatal — the coloring proof, machine-checked.
+        for key in ("fatal", "benign-stale", "stale-read", "write-write",
+                    "read-modify-write"):
+            assert rc[key] == 0, (key, rc)
+
+    def test_racecheck_does_not_change_results(self, planted):
+        graph, _ = planted
+        plain = Grappolo(threads=4, seed=3).run(graph)
+        checked = Grappolo(threads=4, seed=3).run(
+            graph, runtime=ParallelRuntime(threads=4, racecheck=RaceChecker())
+        )
+        assert np.array_equal(
+            plain.partition.labels, checked.partition.labels
+        )
+
+    def test_dtype_policy_identical_labels(self):
+        wide, _ = generators.planted_partition(200, 4, 0.3, 0.01, seed=9)
+        lean, _ = generators.planted_partition(
+            200, 4, 0.3, 0.01, seed=9, dtype_policy="lean"
+        )
+        a = Grappolo(threads=4, seed=1).run(wide).partition.labels
+        b = Grappolo(threads=4, seed=1).run(lean).partition.labels
+        assert np.array_equal(a, b)
+
+
+class TestQuality:
+    def test_recovers_planted_partition(self, planted):
+        graph, truth = planted
+        labels = Grappolo(threads=4, seed=3).run(graph).partition.labels
+        assert normalized_mutual_information(labels, truth) >= 0.95
+
+    def test_lfr_recovery_floor(self):
+        lfr = lfr_graph(
+            350, avg_degree=10.0, max_degree=40, mu=0.25,
+            min_community=20, max_community=80, seed=11,
+        )
+        labels = Grappolo(threads=4, seed=3).run(lfr.graph).partition.labels
+        assert (
+            normalized_mutual_information(labels, lfr.ground_truth) >= 0.6
+        )
+
+    def test_modularity_matches_plm_ballpark(self, planted):
+        graph, _ = planted
+        ours = modularity(
+            graph, Grappolo(threads=4, seed=3).run(graph).partition.labels
+        )
+        plm = modularity(
+            graph, PLM(threads=4, seed=3).run(graph).partition.labels
+        )
+        assert ours >= plm - 0.02
+
+    def test_info_reports_levels_and_colors(self, planted):
+        graph, _ = planted
+        info = Grappolo(threads=4, seed=3).run(graph).info
+        assert info["levels"] == len(info["sweeps_per_level"])
+        assert len(info["colors_per_level"]) == info["levels"]
+        assert all(c >= 1 for c in info["colors_per_level"])
+
+
+class TestEdgeCasesAndFactory:
+    def test_empty_graph(self):
+        graph = Graph(
+            np.zeros(1, np.int64), np.empty(0, np.int64), np.empty(0), "e"
+        )
+        result = Grappolo(threads=2).run(graph)
+        assert result.partition.labels.shape == (0,)
+
+    def test_edgeless_graph(self):
+        graph = Graph(
+            np.zeros(6, np.int64), np.empty(0, np.int64), np.empty(0), "i"
+        )
+        labels = Grappolo(threads=2).run(graph).partition.labels
+        assert np.array_equal(labels, np.arange(5))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Grappolo(gamma=-1.0)
+        with pytest.raises(ValueError):
+            Grappolo(min_gain=-1.0)
+
+    def test_factory_route(self, planted):
+        graph, truth = planted
+        det = make_detector("grappolo", threads=8, seed=3)
+        assert isinstance(det, Grappolo)
+        labels = det.run(graph).partition.labels
+        direct = Grappolo(threads=8, seed=3).run(graph).partition.labels
+        assert np.array_equal(labels, direct)
+
+    def test_canonical_params_strip_host_only_knobs(self):
+        a = canonical_params({"workers": 4, "kernel_backend": "numpy"})
+        b = canonical_params({})
+        assert a == b

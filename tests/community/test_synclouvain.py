@@ -1,0 +1,187 @@
+"""SyncLouvain (synchronised Louvain) — determinism, move rule, quality.
+
+The probabilistic synchronous move rule is implemented as a
+deterministic hash, so the detector must be byte-identical across
+thread counts, schedules and chunk permutations, and racecheck-clean
+with an empty whitelist (kernels read only the sweep-start snapshot)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import SyncLouvain, make_detector
+from repro.community.plm import PLM
+from repro.graph import generators
+from repro.graph.csr import Graph
+from repro.graph.lfr import lfr_graph
+from repro.parallel import verify_schedule_independence
+from repro.parallel.racecheck import RaceChecker
+from repro.parallel.runtime import ParallelRuntime
+from repro.partition.compare import normalized_mutual_information
+from repro.partition.quality import modularity
+
+
+@pytest.fixture(scope="module")
+def planted():
+    graph, truth = generators.planted_partition(300, 6, 0.3, 0.01, seed=7)
+    return graph, truth
+
+
+SCHEDULES = ("static", "dynamic", "guided")
+
+
+class TestDeterminism:
+    def test_byte_identity_across_thread_counts(self, planted):
+        graph, _ = planted
+        base = SyncLouvain(threads=1, seed=3).run(graph).partition.labels
+        for threads in (2, 4, 32):
+            labels = (
+                SyncLouvain(threads=threads, seed=3).run(graph).partition.labels
+            )
+            assert np.array_equal(base, labels)
+
+    def test_strict_schedule_independence(self, planted):
+        graph, _ = planted
+        report = verify_schedule_independence(
+            lambda sched, workers: SyncLouvain(
+                threads=4, schedule=sched, seed=3
+            ),
+            graph,
+            schedules=SCHEDULES,
+            threads=(1, 4),
+            permutations=(None, 0, 1),
+            strict=True,
+        )
+        assert report.independent
+        assert report.max_modularity_spread == 0.0
+
+    def test_same_seed_reproduces_exactly(self, planted):
+        graph, _ = planted
+        a = SyncLouvain(threads=4, seed=5).run(graph).partition.labels
+        b = SyncLouvain(threads=4, seed=5).run(graph).partition.labels
+        assert np.array_equal(a, b)
+
+    def test_racecheck_completely_clean(self, planted):
+        graph, _ = planted
+        runtime = ParallelRuntime(threads=4, racecheck=RaceChecker())
+        result = SyncLouvain(threads=4, seed=3).run(graph, runtime=runtime)
+        rc = result.info["racecheck"]
+        assert rc["loops"] > 0
+        # Kernels read only the sweep-start snapshot: no event of any
+        # class may fire — the empty whitelist, machine-checked.
+        for key in ("fatal", "benign-stale", "stale-read", "write-write",
+                    "read-modify-write"):
+            assert rc[key] == 0, (key, rc)
+
+    def test_racecheck_does_not_change_results(self, planted):
+        graph, _ = planted
+        plain = SyncLouvain(threads=4, seed=3).run(graph)
+        checked = SyncLouvain(threads=4, seed=3).run(
+            graph, runtime=ParallelRuntime(threads=4, racecheck=RaceChecker())
+        )
+        assert np.array_equal(
+            plain.partition.labels, checked.partition.labels
+        )
+
+    def test_dtype_policy_identical_labels(self):
+        wide, _ = generators.planted_partition(200, 4, 0.3, 0.01, seed=9)
+        lean, _ = generators.planted_partition(
+            200, 4, 0.3, 0.01, seed=9, dtype_policy="lean"
+        )
+        a = SyncLouvain(threads=4, seed=1).run(wide).partition.labels
+        b = SyncLouvain(threads=4, seed=1).run(lean).partition.labels
+        assert np.array_equal(a, b)
+
+
+class TestMoveRule:
+    def test_probability_one_still_terminates(self, planted):
+        # Pure synchronous updating (p=1) oscillates on symmetric inputs;
+        # the patience guard must still terminate with a valid partition.
+        graph, truth = planted
+        result = SyncLouvain(
+            threads=4, move_probability=1.0, seed=3
+        ).run(graph)
+        labels = result.partition.labels
+        assert labels.shape == (graph.n,)
+        assert normalized_mutual_information(labels, truth) >= 0.9
+
+    def test_low_probability_converges_slower_but_converges(self, planted):
+        graph, truth = planted
+        fast = SyncLouvain(threads=4, move_probability=0.5, seed=3).run(graph)
+        slow = SyncLouvain(threads=4, move_probability=0.2, seed=3).run(graph)
+        assert sum(slow.info["sweeps_per_level"]) >= sum(
+            fast.info["sweeps_per_level"]
+        )
+        assert (
+            normalized_mutual_information(slow.partition.labels, truth) >= 0.9
+        )
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            SyncLouvain(move_probability=0.0)
+        with pytest.raises(ValueError):
+            SyncLouvain(move_probability=1.5)
+        with pytest.raises(ValueError):
+            SyncLouvain(gamma=-0.1)
+        with pytest.raises(ValueError):
+            SyncLouvain(patience=0)
+
+    def test_info_reports_rule_parameters(self, planted):
+        graph, _ = planted
+        info = SyncLouvain(threads=4, move_probability=0.4, seed=3).run(
+            graph
+        ).info
+        assert info["move_probability"] == 0.4
+        assert info["levels"] == len(info["sweeps_per_level"])
+
+
+class TestQuality:
+    def test_recovers_planted_partition(self, planted):
+        graph, truth = planted
+        labels = SyncLouvain(threads=4, seed=3).run(graph).partition.labels
+        assert normalized_mutual_information(labels, truth) >= 0.95
+
+    def test_lfr_recovery_floor(self):
+        lfr = lfr_graph(
+            350, avg_degree=10.0, max_degree=40, mu=0.25,
+            min_community=20, max_community=80, seed=11,
+        )
+        labels = SyncLouvain(threads=4, seed=3).run(lfr.graph).partition.labels
+        assert (
+            normalized_mutual_information(labels, lfr.ground_truth) >= 0.6
+        )
+
+    def test_modularity_matches_plm_ballpark(self, planted):
+        graph, _ = planted
+        ours = modularity(
+            graph, SyncLouvain(threads=4, seed=3).run(graph).partition.labels
+        )
+        plm = modularity(
+            graph, PLM(threads=4, seed=3).run(graph).partition.labels
+        )
+        assert ours >= plm - 0.02
+
+
+class TestEdgeCasesAndFactory:
+    def test_empty_graph(self):
+        graph = Graph(
+            np.zeros(1, np.int64), np.empty(0, np.int64), np.empty(0), "e"
+        )
+        result = SyncLouvain(threads=2).run(graph)
+        assert result.partition.labels.shape == (0,)
+
+    def test_edgeless_graph(self):
+        graph = Graph(
+            np.zeros(6, np.int64), np.empty(0, np.int64), np.empty(0), "i"
+        )
+        labels = SyncLouvain(threads=2).run(graph).partition.labels
+        assert np.array_equal(labels, np.arange(5))
+
+    def test_factory_route(self, planted):
+        graph, _ = planted
+        det = make_detector("slouvain", threads=8, seed=3)
+        assert isinstance(det, SyncLouvain)
+        labels = det.run(graph).partition.labels
+        direct = SyncLouvain(threads=8, seed=3).run(graph).partition.labels
+        assert np.array_equal(labels, direct)

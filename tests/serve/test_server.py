@@ -139,6 +139,19 @@ def test_stats_exposes_all_layers(server):
     assert "degraded" in stats["backend"]
 
 
+def test_stats_enumerates_factory_algorithms(server):
+    from repro.community.factory import ALGORITHM_NAMES
+
+    with ServeClient(socket_path=server.address) as client:
+        stats = client.stats()
+    # The server advertises exactly the factory registry, so clients can
+    # discover routable detectors (incl. grappolo/slouvain) without a
+    # trial-and-error detect call.
+    assert stats["algorithms"] == sorted(ALGORITHM_NAMES)
+    assert "grappolo" in stats["algorithms"]
+    assert "slouvain" in stats["algorithms"]
+
+
 def test_shutdown_op_stops_server_and_releases_shm(tmp_path, graph):
     before = set(glob.glob("/dev/shm/*"))
     sock = os.fspath(tmp_path / "s.sock")

@@ -145,3 +145,18 @@ class TestSharding:
         out = capsys.readouterr().out
         assert "sharding: supported" in out
         assert "contiguous" in out
+
+    def test_version_enumerates_factory_algorithms(self, capsys):
+        from repro.community.factory import ALGORITHM_NAMES
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        line = next(
+            ln for ln in out.splitlines() if ln.startswith("algorithms:")
+        )
+        listed = [a.strip() for a in line.split(":", 1)[1].split(",")]
+        # Must match the factory registry exactly — never a stale copy.
+        assert listed == sorted(ALGORITHM_NAMES)
+        assert "grappolo" in listed and "slouvain" in listed

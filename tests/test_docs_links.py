@@ -56,3 +56,15 @@ def test_readme_links_required_docs():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     assert "docs/CORRECTNESS.md" in readme
     assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/DETECTORS.md" in readme
+
+
+def test_detector_guide_covers_every_factory_algorithm():
+    """docs/DETECTORS.md must document every routable detector id."""
+    from repro.community.factory import ALGORITHM_NAMES
+
+    guide = (REPO / "docs" / "DETECTORS.md").read_text(encoding="utf-8")
+    missing = [
+        name for name in ALGORITHM_NAMES if f"`{name}`" not in guide
+    ]
+    assert not missing, f"docs/DETECTORS.md missing detector ids: {missing}"

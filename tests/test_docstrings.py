@@ -1,9 +1,10 @@
 """Docstring coverage gate for the public API.
 
 Every public module, class, function, and public method reachable from
-``repro.parallel`` and ``repro.community`` must carry a docstring whose
-first line is a non-empty summary. This keeps the paper→code mapping in
-docs/ARCHITECTURE.md anchored to self-describing code.
+``repro.parallel``, ``repro.community``, and ``repro.bench`` must carry
+a docstring whose first line is a non-empty summary. This keeps the
+paper→code mapping in docs/ARCHITECTURE.md anchored to self-describing
+code.
 """
 
 from __future__ import annotations
@@ -14,10 +15,11 @@ import pkgutil
 
 import pytest
 
+import repro.bench
 import repro.community
 import repro.parallel
 
-PACKAGES = (repro.parallel, repro.community)
+PACKAGES = (repro.parallel, repro.community, repro.bench)
 
 
 def iter_modules():
