@@ -21,6 +21,7 @@ Quick start::
 
 from repro.graph import (
     DynamicGraph,
+    EventBatch,
     Graph,
     GraphBuilder,
     from_edges,
@@ -43,6 +44,7 @@ from repro.partition import (
 from repro.community import (
     CommunityDetector,
     DetectionResult,
+    DynamicPLM,
     DynamicPLP,
     PLP,
     ShardedPLP,
@@ -63,6 +65,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Graph",
     "DynamicGraph",
+    "EventBatch",
     "GraphBuilder",
     "from_edges",
     "coarsen",
@@ -85,6 +88,7 @@ __all__ = [
     "PLP",
     "ShardedPLP",
     "DynamicPLP",
+    "DynamicPLM",
     "PLM",
     "PLMR",
     "EPP",

@@ -58,8 +58,10 @@ __all__ = [
 
 #: Detector id -> constructor; the full zoo, in report order. Ids match
 #: the factory's algorithm names where a factory route exists (``olp``
-#: and ``dplp`` are class-only: one overlaps, one needs a dynamic graph
-#: driver for its real use case — here DPLP scores its static cold run).
+#: is class-only because it overlaps). ``dplp``/``dplm`` are factory-
+#: routed incremental detectors; here DPLP scores its static cold run —
+#: the streaming driver (:mod:`repro.bench.streambench`) scores the
+#: incremental ``update`` path for both.
 DETECTORS: dict[str, Callable[[int, int], Any]] = {
     "PLP": lambda threads, seed: PLP(threads=threads, seed=seed),
     "PLM": lambda threads, seed: PLM(threads=threads, seed=seed),

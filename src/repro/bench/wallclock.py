@@ -38,6 +38,17 @@ The ``quality`` subcommand runs the detector-zoo quality-vs-speed matrix
 (:mod:`repro.bench.quality`): every detector × every generator category,
 NMI/ARI against planted ground truth plus modularity, condensed into a
 Pareto block (``--min-nmi`` is the CI quality-smoke floor).
+
+The ``stream`` subcommand runs the streaming-detection suite
+(:mod:`repro.bench.streambench`, ``BENCH_stream.json``): batched edit
+throughput, the delta-CSR vs full-rebuild freeze A/B, sustained events/s
+with p50/p99 per-batch latency through DynamicPLP/DynamicPLM, and the
+``dplm_incremental_ab`` incremental-vs-full-recompute comparison
+(``--min-events-per-s`` and ``--min-nmi`` are the CI stream-smoke pins;
+``--min-freeze-speedup`` pins the committed document's delta-vs-full
+freeze ratio)::
+
+    PYTHONPATH=src python -m repro.bench.wallclock stream --out BENCH_stream.json
 """
 
 from __future__ import annotations
@@ -885,6 +896,13 @@ def _shard_support() -> dict[str, Any]:
     return shard_support()
 
 
+def _stream_presets() -> tuple[str, ...]:
+    """Stream preset names (lazy import keeps the CLI parser cheap)."""
+    from repro.bench.streambench import STREAM_PRESETS
+
+    return tuple(STREAM_PRESETS)
+
+
 def build_document(
     kind: str,
     preset: str,
@@ -932,10 +950,17 @@ def validate_document(doc: dict) -> list[str]:
     problems: list[str] = []
     if doc.get("schema") != SCHEMA:
         problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
-    if doc.get("kind") not in ("kernels", "e2e", "scale", "serve", "quality"):
+    if doc.get("kind") not in (
+        "kernels",
+        "e2e",
+        "scale",
+        "serve",
+        "quality",
+        "stream",
+    ):
         problems.append(
-            "kind must be 'kernels', 'e2e', 'scale', 'serve' or 'quality', "
-            f"got {doc.get('kind')!r}"
+            "kind must be 'kernels', 'e2e', 'scale', 'serve', 'quality' "
+            f"or 'stream', got {doc.get('kind')!r}"
         )
     if not isinstance(doc.get("host"), dict):
         problems.append("host info missing")
@@ -981,8 +1006,59 @@ def validate_document(doc: dict) -> list[str]:
                     )
         if doc.get("kind") == "quality":
             problems.extend(_validate_quality_entry(entry, i))
+        if doc.get("kind") == "stream":
+            problems.extend(_validate_stream_entry(entry, i))
     if doc.get("kind") == "quality":
         problems.extend(_validate_pareto_block(doc.get("pareto")))
+    return problems
+
+
+def _validate_stream_entry(entry: dict, i: int) -> list[str]:
+    """Schema checks specific to streaming-suite entries."""
+    problems = []
+    name = entry.get("name", "")
+    if "events_per_s" in entry or name.endswith("_stream"):
+        eps = entry.get("events_per_s")
+        if not isinstance(eps, (int, float)) or eps < 0:
+            problems.append(
+                f"benchmarks[{i}].events_per_s must be a non-negative number"
+            )
+    if name in ("dplp_stream", "dplm_stream"):
+        for key in ("p50_ms", "p99_ms"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"benchmarks[{i}].{key} must be a non-negative number"
+                )
+    if name == "freeze_delta_ab":
+        if not isinstance(entry.get("identical"), bool):
+            problems.append(
+                f"benchmarks[{i}] freeze A/B needs a boolean 'identical'"
+            )
+        for key in ("full_wall_s", "freeze_speedup"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"benchmarks[{i}].{key} must be a non-negative number"
+                )
+        frac = entry.get("dirty_fraction")
+        if not isinstance(frac, (int, float)) or not 0.0 <= frac <= 1.0:
+            problems.append(
+                f"benchmarks[{i}].dirty_fraction must be a number in [0, 1]"
+            )
+    if name == "dplm_incremental_ab":
+        for key in ("full_wall_s", "update_speedup"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"benchmarks[{i}].{key} must be a non-negative number"
+                )
+        for key in ("nmi_min", "nmi_mean"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+                problems.append(
+                    f"benchmarks[{i}].{key} must be a number in [0, 1]"
+                )
     return problems
 
 
@@ -1072,6 +1148,22 @@ def _format_rows(entries: Iterable[dict[str, Any]]) -> str:
             )
         if "edges_per_s" in e:
             extra += f"  {e['edges_per_s'] / 1e6:.2f}M edges/s"
+        if "events_per_s" in e:
+            extra += f"  {e['events_per_s'] / 1e3:.1f}k events/s"
+        if "p50_ms" in e:
+            extra += f"  p50={e['p50_ms']:.1f}ms  p99={e['p99_ms']:.1f}ms"
+        if "freeze_speedup" in e:
+            extra += (
+                f"  full={e['full_wall_s']:.6f}s  "
+                f"delta x{e['freeze_speedup']:.1f} "
+                f"(dirty {e['dirty_fraction']:.4f}, "
+                f"{'identical' if e['identical'] else 'MISMATCH'})"
+            )
+        if "update_speedup" in e:
+            extra += (
+                f"  full={e['full_wall_s']:.3f}s  "
+                f"x{e['update_speedup']:.2f}  nmi_min={e['nmi_min']:.4f}"
+            )
         if "gen_speedup" in e:
             extra += f"  loop={e['loop_wall_s']:.3f}s  gen x{e['gen_speedup']:.0f}"
         if e.get("peak_rss_mb") is not None:
@@ -1168,6 +1260,46 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) if any detector's NMI on the planted-partition "
         "instance falls below this floor — the CI quality-smoke pin",
     )
+    st = sub.add_parser("stream", help="run the streaming-detection suite")
+    st.add_argument(
+        "--preset",
+        default="stream",
+        choices=sorted(_stream_presets()),
+    )
+    st.add_argument("--repeats", type=int, default=3)
+    st.add_argument("--threads", type=int, default=32)
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--out", default="BENCH_stream.json")
+    st.add_argument("--baseline", default=None)
+    st.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="hot-loop executor for the streamed detectors",
+    )
+    st.add_argument(
+        "--min-events-per-s",
+        type=float,
+        default=None,
+        help="fail (exit 1) if dplp_stream sustained events/s falls below "
+        "this floor — the CI stream-smoke throughput pin",
+    )
+    st.add_argument(
+        "--min-nmi",
+        type=float,
+        default=None,
+        help="fail (exit 1) if dplm_incremental_ab worst-batch NMI against "
+        "the full recompute falls below this floor — the CI stream-smoke "
+        "quality pin",
+    )
+    st.add_argument(
+        "--min-freeze-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the delta-CSR freeze is not at least this "
+        "many times faster than the forced full rebuild (freeze_delta_ab) "
+        "— the committed-document pin is 10",
+    )
     v = sub.add_parser("validate", help="validate BENCH_*.json schema")
     v.add_argument("files", nargs="+")
     args = parser.parse_args(argv)
@@ -1211,6 +1343,16 @@ def main(argv: list[str] | None = None) -> int:
             threads=args.threads,
             seed=args.seed,
         )
+    elif args.command == "stream":
+        from repro.bench.streambench import run_stream_suite
+
+        entries = run_stream_suite(
+            args.preset,
+            repeats=args.repeats,
+            threads=args.threads,
+            seed=args.seed,
+            kernel_backend=args.kernel_backend,
+        )
     else:
         entries = run_scale_suite(
             args.preset, workers=args.workers, dtype_policy=args.dtype_policy
@@ -1252,6 +1394,52 @@ def main(argv: list[str] | None = None) -> int:
                     )
                 return 1
             print(f"quality ok: all planted-partition NMI >= {args.min_nmi}")
+    if args.command == "stream":
+        ab = next(
+            (e for e in entries if e["name"] == "freeze_delta_ab"), None
+        )
+        if ab is not None and not ab["identical"]:
+            print("FAIL: delta-CSR freeze diverges from the full rebuild")
+            return 1
+        if args.min_freeze_speedup is not None:
+            if ab is None or ab["freeze_speedup"] < args.min_freeze_speedup:
+                got = 0.0 if ab is None else ab["freeze_speedup"]
+                print(
+                    f"FAIL: delta-CSR freeze x{got:.2f} vs full rebuild "
+                    f"below floor x{args.min_freeze_speedup:.2f}"
+                )
+                return 1
+            print(
+                f"stream ok: delta-CSR freeze x{ab['freeze_speedup']:.2f} "
+                f">= x{args.min_freeze_speedup:.2f} vs full rebuild "
+                f"(dirty {ab['dirty_fraction']:.4f})"
+            )
+        if args.min_events_per_s is not None:
+            plp = next(e for e in entries if e["name"] == "dplp_stream")
+            if plp["events_per_s"] < args.min_events_per_s:
+                print(
+                    f"FAIL: dplp_stream {plp['events_per_s']:.0f} events/s "
+                    f"below floor {args.min_events_per_s:.0f}"
+                )
+                return 1
+            print(
+                f"stream ok: dplp_stream {plp['events_per_s']:.0f} "
+                f"events/s >= {args.min_events_per_s:.0f}"
+            )
+        if args.min_nmi is not None:
+            ab = next(
+                e for e in entries if e["name"] == "dplm_incremental_ab"
+            )
+            if ab["nmi_min"] < args.min_nmi:
+                print(
+                    f"FAIL: dplm incremental NMI {ab['nmi_min']:.4f} vs "
+                    f"full recompute below floor {args.min_nmi}"
+                )
+                return 1
+            print(
+                f"stream ok: dplm incremental nmi_min {ab['nmi_min']:.4f} "
+                f">= {args.min_nmi} (x{ab['update_speedup']:.2f} vs full)"
+            )
     if args.command == "scale" and args.min_gen_eps is not None:
         gen = next(e for e in entries if e["name"] == "rmat_generate")
         if gen["edges_per_s"] < args.min_gen_eps:

@@ -23,6 +23,7 @@ from repro.community.backends import (
     resolve_kernel_backend,
 )
 from repro.community.base import CommunityDetector, DetectionResult
+from repro.community.dplm import DynamicPLM
 from repro.community.dplp import DynamicPLP
 from repro.community.factory import (
     ALGORITHM_NAMES,
@@ -56,6 +57,7 @@ __all__ = [
     "PLP",
     "ShardedPLP",
     "DynamicPLP",
+    "DynamicPLM",
     "OLP",
     "OverlappingResult",
     "PLM",

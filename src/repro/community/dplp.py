@@ -31,7 +31,7 @@ from repro.community._kernels import gather_neighborhoods
 from repro.community.base import DetectionResult
 from repro.community.plp import PLP
 from repro.graph.csr import Graph
-from repro.graph.dynamic import GraphEvent
+from repro.graph.dynamic import EventBatch, GraphEvent
 from repro.parallel.machine import PAPER_MACHINE
 from repro.parallel.runtime import ParallelRuntime
 from repro.partition.partition import Partition
@@ -63,13 +63,15 @@ class DynamicPLP(PLP):
     def update(
         self,
         graph: Graph,
-        events: list[GraphEvent],
+        events: "EventBatch | list[GraphEvent]",
         runtime: ParallelRuntime | None = None,
     ) -> DetectionResult:
         """Refresh the solution after ``events`` were applied to the graph.
 
-        ``graph`` is the *post-update* snapshot. Requires a prior ``run``
-        on a graph with the same node count.
+        ``graph`` is the *post-update* snapshot; ``events`` is the drained
+        edit log (an :class:`~repro.graph.dynamic.EventBatch` or a plain
+        event list). Requires a prior ``run`` on a graph with the same
+        node count.
         """
         if self._labels is None:
             raise RuntimeError("call run() before update()")
@@ -82,9 +84,8 @@ class DynamicPLP(PLP):
         labels = self._labels.copy()
         degrees = graph.degrees()
         active = np.zeros(graph.n, dtype=bool)
-        seeds = np.array(
-            sorted({e.u for e in events} | {e.v for e in events}), dtype=np.int64
-        )
+        events = EventBatch.from_events(events)
+        seeds = events.endpoints()
         if seeds.size:
             active[seeds] = True
             _, nbrs, _ = gather_neighborhoods(graph, seeds)

@@ -21,6 +21,8 @@ from repro.community.baselines.cel import CEL
 from repro.community.baselines.clu import CLU
 from repro.community.baselines.cnm import CNM
 from repro.community.baselines.rg import RG
+from repro.community.dplm import DynamicPLM
+from repro.community.dplp import DynamicPLP
 from repro.community.epp import EPP
 from repro.community.grappolo import Grappolo
 from repro.community.louvain import Louvain
@@ -102,6 +104,19 @@ _BUILDERS = {
         workers=p["workers"],
         kernel_backend=p["kernel_backend"],
         shards=p["shards"],
+    ),
+    # Incremental detectors: a factory-built instance answers its first
+    # request with a full cold run (``run``); the ``update`` fast path is
+    # a library-level protocol on the same object (see docs/DETECTORS.md
+    # and bench/streambench.py for the streaming drivers).
+    "dplp": lambda p: DynamicPLP(
+        threads=p["threads"], seed=p["seed"], kernel_backend=p["kernel_backend"]
+    ),
+    "dplm": lambda p: DynamicPLM(
+        threads=p["threads"],
+        gamma=p["gamma"],
+        seed=p["seed"],
+        kernel_backend=p["kernel_backend"],
     ),
     # Detector-zoo Louvain variants (kernel_backend/workers are host-only
     # no-ops for these: both are vectorized-NumPy, in-process only).

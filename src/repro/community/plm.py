@@ -135,10 +135,17 @@ class PLM(CommunityDetector):
         labels: np.ndarray,
         runtime: ParallelRuntime,
         section: str,
+        mask: np.ndarray | None = None,
     ) -> tuple[bool, int]:
         """Algorithm 2: repeat parallel node moves until stable.
 
         Mutates ``labels`` in place; returns (changed_any, sweeps).
+        ``mask`` (optional bool array of size n) restricts the sweep to a
+        node subset — the incremental-PLM hook: only masked nodes are
+        re-evaluated, but gains are scored against the full shared
+        community state, so masked nodes may join (or leave) frozen
+        communities. ``mask=None`` is bit-identical to the historical
+        unrestricted sweep.
 
         Host-speed engineering (the simulated schedule, costs and commit
         sequence are bit-identical to the straightforward version):
@@ -548,7 +555,12 @@ class PLM(CommunityDetector):
 
         sweeps = 0
         changed_any = False
-        nodes_all = np.flatnonzero(degrees > 0)
+        if mask is None:
+            nodes_all = np.flatnonzero(degrees > 0)
+        else:
+            nodes_all = np.flatnonzero((degrees > 0) & mask)
+        if nodes_all.size == 0:
+            return False, 0
         # Commit granularity: per-node on small item counts (where a whole
         # sweep would otherwise be in flight at once and livelock on fully
         # stale data), coarser on large ones where the relative staleness

@@ -20,7 +20,7 @@ from repro.graph.properties import (
     summarize,
 )
 from repro.graph import generators
-from repro.graph.dynamic import DynamicGraph, GraphEvent
+from repro.graph.dynamic import DynamicGraph, EventBatch, GraphEvent
 from repro.graph.lfr import LFRGraph, lfr_graph
 from repro.graph.sharding import (
     Shard,
@@ -45,6 +45,7 @@ __all__ = [
     "summarize",
     "generators",
     "DynamicGraph",
+    "EventBatch",
     "GraphEvent",
     "LFRGraph",
     "lfr_graph",

@@ -1,27 +1,56 @@
-"""Mutable dynamic graph with efficient edge insertions and deletions.
+"""Batched mutable dynamic graph with delta-CSR snapshots.
 
 The paper's framework stores adjacencies so that nodes and edges can be
 inserted and removed efficiently (§IV-A) — the basis of the group's work
 on analyzing *dynamic* networks. :class:`DynamicGraph` provides that
-mutable representation: adjacency dictionaries with O(1) expected
-insert/delete, plus ``freeze()`` to produce the immutable CSR
-:class:`~repro.graph.csr.Graph` the algorithms consume, and an edit log
-that incremental algorithms (e.g.
-:class:`~repro.community.dplp.DynamicPLP`) use to find the affected
-region of a batch of updates.
+mutable representation at array speed: the current state is the last
+frozen CSR snapshot plus a sorted, column-wise *overlay* of pending pair
+states, so :meth:`DynamicGraph.apply_events` digests whole event batches
+in a few NumPy passes instead of per-edge dict surgery, and
+:meth:`DynamicGraph.freeze` splices only the touched rows into the
+previous snapshot's arrays (a **delta-CSR rebuild**), falling back to a
+full vectorized rebuild through
+:meth:`~repro.graph.builder.GraphBuilder.add_edges` once the dirty-row
+fraction makes splicing pointless. Both freeze paths produce
+byte-identical graphs under both dtype policies.
+
+The edit log is stored column-wise as well; :meth:`DynamicGraph.drain_events`
+hands it to incremental detectors (:class:`~repro.community.dplp.DynamicPLP`,
+:class:`~repro.community.dplm.DynamicPLM`) as an :class:`EventBatch`,
+which still iterates as :class:`GraphEvent` objects for compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Literal
+from typing import Iterable, Iterator, Literal, Sequence
 
 import numpy as np
 
+from repro.graph import dtypes
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import Graph
 
-__all__ = ["DynamicGraph", "GraphEvent"]
+__all__ = [
+    "DynamicGraph",
+    "EventBatch",
+    "GraphEvent",
+    "EVENT_ADD",
+    "EVENT_REMOVE",
+]
+
+#: Event kind codes of the column-wise log (``EventBatch.kinds``).
+EVENT_ADD = 0
+EVENT_REMOVE = 1
+
+#: Code -> kind string, aligned with the codes above.
+EVENT_KINDS = ("add", "remove")
+
+#: Fused pair keys need ``src * n + dst < 2**63``; node counts beyond this
+#: bound fall back to lexsort/per-row probes. Module attribute so tests can
+#: shrink it to exercise the fallback paths on small graphs (mirrors
+#: ``_group.FUSED_KEY_MAX``).
+FUSED_NODE_MAX = int(np.sqrt(np.iinfo(np.int64).max))
 
 
 @dataclass(frozen=True)
@@ -34,34 +63,237 @@ class GraphEvent:
     w: float = 1.0
 
 
+class EventBatch:
+    """A column-wise batch of edge events (the drained edit log).
+
+    Aligned arrays ``us``/``vs`` (int64), ``ws`` (float64) and ``kinds``
+    (uint8 codes: :data:`EVENT_ADD`/:data:`EVENT_REMOVE`). For a
+    ``remove`` event ``ws`` records the weight that was removed.
+    Iteration and indexing materialize :class:`GraphEvent` objects, and
+    comparison against a plain list of events works, so existing
+    event-list consumers keep working unchanged.
+    """
+
+    __slots__ = ("us", "vs", "ws", "kinds")
+
+    def __init__(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        ws: np.ndarray,
+        kinds: np.ndarray,
+    ) -> None:
+        us = np.ascontiguousarray(us, dtype=np.int64)
+        vs = np.ascontiguousarray(vs, dtype=np.int64)
+        ws = np.ascontiguousarray(ws, dtype=np.float64)
+        kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        if not (us.shape == vs.shape == ws.shape == kinds.shape) or us.ndim != 1:
+            raise ValueError("event columns must be aligned 1-D arrays")
+        if kinds.size and int(kinds.max(initial=0)) > EVENT_REMOVE:
+            raise ValueError("event kind codes must be 0 (add) or 1 (remove)")
+        for arr in (us, vs, ws, kinds):
+            arr.setflags(write=False)
+        self.us = us
+        self.vs = vs
+        self.ws = ws
+        self.kinds = kinds
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls, events: "EventBatch | Iterable[GraphEvent]"
+    ) -> "EventBatch":
+        """Pack an iterable of :class:`GraphEvent` into columns.
+
+        An :class:`EventBatch` passes through unchanged, so incremental
+        detectors accept either representation.
+        """
+        if isinstance(events, EventBatch):
+            return events
+        events = list(events)
+        k = len(events)
+        us = np.fromiter((e.u for e in events), dtype=np.int64, count=k)
+        vs = np.fromiter((e.v for e in events), dtype=np.int64, count=k)
+        ws = np.fromiter((e.w for e in events), dtype=np.float64, count=k)
+        kinds = np.fromiter(
+            (EVENT_KINDS.index(e.kind) for e in events), dtype=np.uint8, count=k
+        )
+        return cls(us, vs, ws, kinds)
+
+    @classmethod
+    def empty(cls) -> "EventBatch":
+        """The zero-event batch."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(z, z, np.empty(0, np.float64), np.empty(0, np.uint8))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.us.size)
+
+    def __iter__(self) -> Iterator[GraphEvent]:
+        for u, v, w, k in zip(
+            self.us.tolist(), self.vs.tolist(), self.ws.tolist(), self.kinds.tolist()
+        ):
+            yield GraphEvent(EVENT_KINDS[k], u, v, w)
+
+    def __getitem__(self, idx: int) -> GraphEvent:
+        i = int(idx)
+        return GraphEvent(
+            EVENT_KINDS[int(self.kinds[i])],
+            int(self.us[i]),
+            int(self.vs[i]),
+            float(self.ws[i]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventBatch):
+            return (
+                np.array_equal(self.us, other.us)
+                and np.array_equal(self.vs, other.vs)
+                and np.array_equal(self.ws, other.ws)
+                and np.array_equal(self.kinds, other.kinds)
+            )
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        adds = int(np.count_nonzero(self.kinds == EVENT_ADD))
+        return f"<EventBatch {len(self)} events ({adds} add)>"
+
+    def endpoints(self) -> np.ndarray:
+        """Sorted unique endpoints of the batch (int64)."""
+        return np.unique(np.concatenate([self.us, self.vs]))
+
+
+def _coerce_kinds(kinds, size: int) -> np.ndarray:
+    """Normalize a kinds argument to uint8 codes (default: all adds)."""
+    if kinds is None:
+        return np.zeros(size, dtype=np.uint8)
+    kinds = np.asarray(kinds)
+    if kinds.dtype.kind in "US" or kinds.dtype == object:
+        codes = np.empty(kinds.size, dtype=np.uint8)
+        add = kinds == "add"
+        rem = kinds == "remove"
+        if not bool(np.all(add | rem)):
+            bad = kinds[~(add | rem)][:1]
+            raise ValueError(f"unknown event kind {bad[0]!r}")
+        codes[add] = EVENT_ADD
+        codes[rem] = EVENT_REMOVE
+    else:
+        codes = np.ascontiguousarray(kinds, dtype=np.uint8)
+        if codes.size and int(codes.max(initial=0)) > EVENT_REMOVE:
+            raise ValueError("event kind codes must be 0 (add) or 1 (remove)")
+    if codes.shape != (size,):
+        raise ValueError("kinds must be aligned with us/vs")
+    return codes
+
+
 class DynamicGraph:
-    """An undirected weighted graph under edge insertions and deletions.
+    """An undirected weighted graph under batched insertions and deletions.
 
     Parallel edges merge by weight addition; removing an edge deletes it
     entirely. Self-loops are allowed. Node ids are fixed at construction
     (``0 .. n-1``); "removing" a node means removing its incident edges.
+
+    State layout: the last frozen snapshot's CSR arrays (``base``) plus a
+    pending *overlay* — one directed entry per touched ``(src, dst)``
+    orientation, sorted by fused pair key, holding the pair's **current**
+    weight and existence. The overlay overrides the base wherever present,
+    so queries and freezes never replay the event history.
+
+    Parameters
+    ----------
+    n:
+        Node count.
+    dtype_policy:
+        Storage policy of frozen snapshots (:mod:`repro.graph.dtypes`);
+        inherited from the source graph under :meth:`from_graph`.
+    delta_threshold:
+        Dirty-row fraction above which :meth:`freeze` abandons the
+        delta-CSR splice for a full vectorized rebuild.
     """
 
-    def __init__(self, n: int) -> None:
+    def __init__(
+        self,
+        n: int,
+        dtype_policy: str = dtypes.WIDE,
+        delta_threshold: float = 0.25,
+    ) -> None:
         if n < 0:
             raise ValueError("node count must be non-negative")
         self.n = int(n)
-        self._adj: list[dict[int, float]] = [dict() for _ in range(self.n)]
+        self.dtype_policy = dtypes.validate_policy(dtype_policy)
+        self.delta_threshold = float(delta_threshold)
+        #: Statistics of the most recent :meth:`freeze` call
+        #: (``mode``/``dirty_rows``/``dirty_fraction``/``pending``).
+        self.last_freeze: dict | None = None
+        self._base_graph: Graph | None = None
+        self._bp = np.zeros(self.n + 1, dtype=np.int64)  # base indptr
+        self._bi = np.empty(0, dtype=np.int64)  # base neighbor ids
+        self._bw = np.empty(0, dtype=np.float64)  # base weights (f64 view)
+        self._bkeys: np.ndarray | None = np.empty(0, dtype=np.int64)
+        self._bnoe: np.ndarray | None = np.empty(0, dtype=np.int64)
+        # Pending overlay: directed (src, dst) -> (weight, live), sorted by
+        # (src, dst). Dead entries (live=False) mask deleted base edges.
+        self._p_src = np.empty(0, dtype=np.int64)
+        self._p_dst = np.empty(0, dtype=np.int64)
+        self._p_w = np.empty(0, dtype=np.float64)
+        self._p_live = np.empty(0, dtype=bool)
         self._m = 0
-        self._total_weight = 0.0
-        self._log: list[GraphEvent] = []
+        self._total = 0.0
+        # Column-wise edit log: list of (us, vs, ws, kinds) chunks.
+        self._log_chunks: list[tuple[np.ndarray, ...]] = []
+        self._log_len = 0
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_graph(cls, graph: Graph) -> "DynamicGraph":
-        """Thaw an immutable graph into a mutable one."""
-        dyn = cls(graph.n)
-        us, vs, ws = graph.edge_array()
-        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
-            dyn.add_edge(u, v, w)
-        dyn._log.clear()
+    def from_graph(cls, graph: Graph, delta_threshold: float = 0.25) -> "DynamicGraph":
+        """Thaw an immutable graph into a mutable one (O(1): array views)."""
+        dyn = cls(
+            graph.n,
+            dtype_policy=graph.dtype_policy,
+            delta_threshold=delta_threshold,
+        )
+        dyn._install_base(graph)
         return dyn
 
+    def _install_base(self, graph: Graph) -> None:
+        """Adopt ``graph`` as the snapshot the overlay deltas against."""
+        self._base_graph = graph
+        self._bp = graph.indptr.astype(np.int64, copy=False)
+        self._bi = graph.indices.astype(np.int64, copy=False)
+        self._bw = graph.weights.astype(np.float64, copy=False)
+        self._bkeys = None  # lazy; amortized over the batches until freeze
+        self._bnoe = None
+        self._m = graph.m
+        self._total = graph.total_edge_weight
+
+    @property
+    def _fused(self) -> bool:
+        return self.n <= FUSED_NODE_MAX
+
+    def _base_keys(self) -> np.ndarray:
+        """Fused ``row * n + dst`` keys of the base entries (sorted)."""
+        if self._bkeys is None:
+            self._bkeys = self._base_noe() * np.int64(self.n) + self._bi
+        return self._bkeys
+
+    def _base_noe(self) -> np.ndarray:
+        """Owner row of each base entry (int64)."""
+        if self._bnoe is None:
+            if self._base_graph is not None:
+                self._bnoe = self._base_graph.node_of_entry().astype(
+                    np.int64, copy=False
+                )
+            else:
+                self._bnoe = np.repeat(
+                    np.arange(self.n, dtype=np.int64), np.diff(self._bp)
+                )
+        return self._bnoe
+
+    # ------------------------------------------------------------------
+    # Size accessors and point queries
     # ------------------------------------------------------------------
     @property
     def m(self) -> int:
@@ -70,80 +302,445 @@ class DynamicGraph:
 
     @property
     def total_edge_weight(self) -> float:
-        return self._total_weight
+        return self._total
+
+    def _sort_pairs(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Stable order by ``(src, dst)`` (fused-key argsort or lexsort)."""
+        if self._fused:
+            return (src * np.int64(self.n) + dst).argsort(kind="stable")
+        return np.lexsort((dst, src))
+
+    def _lookup_base(self, lo: np.ndarray, hi: np.ndarray):
+        """Base weight/existence of canonical pairs (vectorized)."""
+        w = np.zeros(lo.size, dtype=np.float64)
+        hit = np.zeros(lo.size, dtype=bool)
+        if self._bi.size == 0:
+            return w, hit
+        if self._fused:
+            keys = lo * np.int64(self.n) + hi
+            bkeys = self._base_keys()
+            pos = np.searchsorted(bkeys, keys)
+            ok = pos < bkeys.size
+            ok[ok] = bkeys[pos[ok]] == keys[ok]
+            w[ok] = self._bw[pos[ok]]
+            hit |= ok
+            return w, hit
+        for i in range(lo.size):  # overflow fallback: per-row probe
+            s, e = int(self._bp[lo[i]]), int(self._bp[lo[i] + 1])
+            j = s + int(np.searchsorted(self._bi[s:e], hi[i]))
+            if j < e and self._bi[j] == hi[i]:
+                w[i] = self._bw[j]
+                hit[i] = True
+        return w, hit
+
+    def _lookup_pending(self, src: np.ndarray, dst: np.ndarray):
+        """Overlay weight/existence/presence of pairs (vectorized)."""
+        w = np.zeros(src.size, dtype=np.float64)
+        live = np.zeros(src.size, dtype=bool)
+        hit = np.zeros(src.size, dtype=bool)
+        if self._p_src.size == 0:
+            return w, live, hit
+        if self._fused:
+            keys = src * np.int64(self.n) + dst
+            pkeys = self._p_src * np.int64(self.n) + self._p_dst
+            pos = np.searchsorted(pkeys, keys)
+            ok = pos < pkeys.size
+            ok[ok] = pkeys[pos[ok]] == keys[ok]
+            w[ok] = self._p_w[pos[ok]]
+            live[ok] = self._p_live[pos[ok]]
+            hit |= ok
+            return w, live, hit
+        for i in range(src.size):  # overflow fallback: segment probe
+            s, e = np.searchsorted(self._p_src, [src[i], src[i] + 1])
+            j = int(s) + int(np.searchsorted(self._p_dst[s:e], dst[i]))
+            if j < e and self._p_dst[j] == dst[i]:
+                w[i] = self._p_w[j]
+                live[i] = self._p_live[j]
+                hit[i] = True
+        return w, live, hit
+
+    def _pair_state(self, lo: np.ndarray, hi: np.ndarray):
+        """Current weight/existence of canonical pairs (overlay over base)."""
+        bw, bhit = self._lookup_base(lo, hi)
+        pw, plive, phit = self._lookup_pending(lo, hi)
+        w = np.where(phit, pw, bw)
+        live = np.where(phit, plive, bhit)
+        return w, live
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self._adj[u]
+        self._check(u, v)
+        lo = np.array([min(u, v)], dtype=np.int64)
+        hi = np.array([max(u, v)], dtype=np.int64)
+        return bool(self._pair_state(lo, hi)[1][0])
 
     def weight(self, u: int, v: int) -> float:
-        return self._adj[u].get(v, 0.0)
+        self._check(u, v)
+        lo = np.array([min(u, v)], dtype=np.int64)
+        hi = np.array([max(u, v)], dtype=np.int64)
+        w, live = self._pair_state(lo, hi)
+        return float(w[0]) if live[0] else 0.0
+
+    def _merged_row(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Live neighbor ids and weights of ``v``, sorted by neighbor id."""
+        s, e = int(self._bp[v]), int(self._bp[v + 1])
+        bd, bw = self._bi[s:e], self._bw[s:e]
+        ps, pe = np.searchsorted(self._p_src, [v, v + 1])
+        if ps == pe:
+            return bd, bw
+        pd = self._p_dst[ps:pe]
+        # Both segments are sorted by neighbor id; overlay overrides base.
+        pos = np.searchsorted(pd, bd)
+        over = pos < pd.size
+        over[over] = pd[pos[over]] == bd[over]
+        keep = ~over
+        pl = self._p_live[ps:pe]
+        dst = np.concatenate([bd[keep], pd[pl]])
+        w = np.concatenate([bw[keep], self._p_w[ps:pe][pl]])
+        order = np.argsort(dst, kind="stable")
+        return dst[order], w[order]
 
     def degree(self, v: int) -> int:
-        return len(self._adj[v])
+        self._check(v, v)
+        return int(self._merged_row(v)[0].size)
 
     def neighbors(self, v: int) -> Iterator[int]:
-        return iter(self._adj[v])
+        self._check(v, v)
+        return iter(self._merged_row(v)[0].tolist())
 
+    # ------------------------------------------------------------------
+    # Mutation
     # ------------------------------------------------------------------
     def _check(self, u: int, v: int) -> None:
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise IndexError(f"edge ({u}, {v}) out of range for n={self.n}")
+
+    def apply_events(
+        self,
+        us: Sequence[int] | np.ndarray,
+        vs: Sequence[int] | np.ndarray,
+        ws: Sequence[float] | np.ndarray | None = None,
+        kinds: Sequence | np.ndarray | None = None,
+    ) -> "DynamicGraph":
+        """Apply a batch of edge events in a few vectorized passes.
+
+        ``kinds`` takes ``"add"``/``"remove"`` strings or the uint8 codes
+        :data:`EVENT_ADD`/:data:`EVENT_REMOVE` (default: all adds); ``ws``
+        defaults to unit weights and is ignored for removals. Events are
+        applied in order; pairs edited once in the batch (the common case)
+        resolve fully vectorized, pairs edited repeatedly replay their own
+        short history. The batch is atomic: a removal of a missing edge
+        raises ``KeyError`` before any state changes.
+        """
+        us = np.array(us, dtype=np.int64, copy=True)
+        vs = np.array(vs, dtype=np.int64, copy=True)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("us and vs must be aligned 1-D arrays")
+        k = us.size
+        if ws is None:
+            ws = np.ones(k, dtype=np.float64)
+        else:
+            ws = np.array(ws, dtype=np.float64, copy=True)
+            if ws.shape != us.shape:
+                raise ValueError("ws must be aligned with us/vs")
+        codes = _coerce_kinds(kinds, k)
+        if k == 0:
+            return self
+        if min(int(us.min()), int(vs.min())) < 0 or max(
+            int(us.max()), int(vs.max())
+        ) >= self.n:
+            raise IndexError(f"edge endpoint out of range for n={self.n}")
+        is_add = codes == EVENT_ADD
+        if bool(np.any(ws[is_add] < 0)):
+            raise ValueError("edge weights must be non-negative")
+
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        order = self._sort_pairs(lo, hi)
+        lo_s, hi_s = lo[order], hi[order]
+        first = np.empty(k, dtype=bool)
+        first[0] = True
+        np.logical_or(
+            lo_s[1:] != lo_s[:-1], hi_s[1:] != hi_s[:-1], out=first[1:]
+        )
+        starts = np.flatnonzero(first)
+        counts = np.diff(np.append(starts, k))
+        ulo, uhi = lo_s[starts], hi_s[starts]
+        w0, live0 = self._pair_state(ulo, uhi)
+
+        new_w = w0.copy()
+        new_live = live0.copy()
+        log_w = ws.copy()  # removal entries record the removed weight
+        single = counts == 1
+        s_groups = np.flatnonzero(single)
+        if s_groups.size:
+            epos = order[starts[s_groups]]  # original event index per group
+            g_add = is_add[epos]
+            ga, gr = s_groups[g_add], s_groups[~g_add]
+            if gr.size:
+                missing = ~live0[gr]
+                if bool(missing.any()):
+                    e = int(epos[~g_add][missing.argmax()])
+                    raise KeyError(f"no edge ({us[e]}, {vs[e]})")
+                new_w[gr] = 0.0
+                new_live[gr] = False
+                log_w[epos[~g_add]] = w0[gr]
+            if ga.size:
+                new_w[ga] = w0[ga] + ws[epos[g_add]]
+                new_live[ga] = True
+        for g in np.flatnonzero(~single):  # rare: pair edited twice+ in batch
+            w_cur, alive = float(w0[g]), bool(live0[g])
+            for j in range(int(starts[g]), int(starts[g] + counts[g])):
+                e = int(order[j])
+                if codes[e] == EVENT_ADD:
+                    w_cur += float(ws[e])
+                    alive = True
+                else:
+                    if not alive:
+                        raise KeyError(f"no edge ({us[e]}, {vs[e]})")
+                    log_w[e] = w_cur
+                    w_cur, alive = 0.0, False
+            new_w[g] = w_cur
+            new_live[g] = alive
+
+        self._m += int(np.count_nonzero(new_live)) - int(np.count_nonzero(live0))
+        self._total += float(new_w.sum() - w0.sum())
+        self._merge_pending(ulo, uhi, new_w, new_live)
+        self._log_chunks.append((us, vs, log_w, codes))
+        self._log_len += k
+        return self
+
+    def _merge_pending(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        w: np.ndarray,
+        live: np.ndarray,
+    ) -> None:
+        """Fold resolved canonical pair states into the directed overlay."""
+        nonloop = lo != hi
+        src = np.concatenate([lo, hi[nonloop]])
+        dst = np.concatenate([hi, lo[nonloop]])
+        w2 = np.concatenate([w, w[nonloop]])
+        live2 = np.concatenate([live, live[nonloop]])
+        order = self._sort_pairs(src, dst)
+        src, dst = src[order], dst[order]
+        w2, live2 = w2[order], live2[order]
+        if self._p_src.size:
+            # Stable sort keeps old-before-new for equal keys; keep the
+            # last (newest) entry of every (src, dst) run.
+            src = np.concatenate([self._p_src, src])
+            dst = np.concatenate([self._p_dst, dst])
+            w2 = np.concatenate([self._p_w, w2])
+            live2 = np.concatenate([self._p_live, live2])
+            order = self._sort_pairs(src, dst)
+            src, dst = src[order], dst[order]
+            w2, live2 = w2[order], live2[order]
+        last = np.empty(src.size, dtype=bool)
+        last[-1:] = True
+        np.logical_or(
+            src[1:] != src[:-1], dst[1:] != dst[:-1], out=last[:-1]
+        )
+        self._p_src, self._p_dst = src[last], dst[last]
+        self._p_w, self._p_live = w2[last], live2[last]
 
     def add_edge(self, u: int, v: int, w: float = 1.0) -> None:
         """Insert {u, v} with weight ``w`` (merges with an existing edge)."""
         self._check(u, v)
         if w < 0:
             raise ValueError("edge weights must be non-negative")
-        existed = v in self._adj[u]
-        self._adj[u][v] = self._adj[u].get(v, 0.0) + w
-        if u != v:
-            self._adj[v][u] = self._adj[v].get(u, 0.0) + w
-        if not existed:
-            self._m += 1
-        self._total_weight += w
-        self._log.append(GraphEvent("add", u, v, w))
+        self.apply_events(
+            np.array([u], dtype=np.int64),
+            np.array([v], dtype=np.int64),
+            np.array([w], dtype=np.float64),
+        )
 
     def remove_edge(self, u: int, v: int) -> float:
         """Delete {u, v}; returns the removed weight."""
         self._check(u, v)
-        if v not in self._adj[u]:
-            raise KeyError(f"no edge ({u}, {v})")
-        w = self._adj[u].pop(v)
-        if u != v:
-            del self._adj[v][u]
-        self._m -= 1
-        self._total_weight -= w
-        self._log.append(GraphEvent("remove", u, v, w))
-        return w
+        self.apply_events(
+            np.array([u], dtype=np.int64),
+            np.array([v], dtype=np.int64),
+            kinds=np.array([EVENT_REMOVE], dtype=np.uint8),
+        )
+        return float(self._log_chunks[-1][2][0])
 
     def remove_node(self, v: int) -> int:
         """Remove all edges incident to ``v``; returns how many."""
         self._check(v, v)
-        incident = list(self._adj[v])
-        for u in incident:
-            self.remove_edge(v, u)
-        return len(incident)
+        incident = self._merged_row(v)[0]
+        if incident.size:
+            self.apply_events(
+                np.full(incident.size, v, dtype=np.int64),
+                incident,
+                kinds=np.full(incident.size, EVENT_REMOVE, dtype=np.uint8),
+            )
+        return int(incident.size)
 
     # ------------------------------------------------------------------
-    def drain_events(self) -> list[GraphEvent]:
-        """Return and clear the edit log since the last drain/freeze."""
-        events, self._log = self._log, []
-        return events
+    # Edit log
+    # ------------------------------------------------------------------
+    def drain_events(self) -> EventBatch:
+        """Return and clear the edit log since the last drain."""
+        if not self._log_chunks:
+            return EventBatch.empty()
+        if len(self._log_chunks) == 1:
+            us, vs, ws, kinds = self._log_chunks[0]
+        else:
+            us = np.concatenate([c[0] for c in self._log_chunks])
+            vs = np.concatenate([c[1] for c in self._log_chunks])
+            ws = np.concatenate([c[2] for c in self._log_chunks])
+            kinds = np.concatenate([c[3] for c in self._log_chunks])
+        self._log_chunks = []
+        self._log_len = 0
+        return EventBatch(us, vs, ws, kinds)
 
-    def affected_nodes(self, events: list[GraphEvent] | None = None) -> np.ndarray:
+    def affected_nodes(
+        self, events: "EventBatch | list[GraphEvent] | None" = None
+    ) -> np.ndarray:
         """Endpoints touched by ``events`` (default: the pending log)."""
-        events = self._log if events is None else events
-        nodes = {e.u for e in events} | {e.v for e in events}
-        return np.fromiter(sorted(nodes), dtype=np.int64, count=len(nodes))
+        if events is None:
+            cols = [c[0] for c in self._log_chunks] + [
+                c[1] for c in self._log_chunks
+            ]
+            if not cols:
+                return np.empty(0, dtype=np.int64)
+            return np.unique(np.concatenate(cols))
+        return EventBatch.from_events(events).endpoints()
 
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
     def freeze(self, name: str = "") -> Graph:
-        """Produce the immutable CSR snapshot of the current state."""
-        builder = GraphBuilder(self.n)
-        for u, nbrs in enumerate(self._adj):
-            for v, w in nbrs.items():
-                if u <= v:
-                    builder.add_edge(u, v, w)
+        """Produce the immutable CSR snapshot of the current state.
+
+        With pending edits touching at most ``delta_threshold`` of the
+        rows, only the dirty rows are rebuilt and spliced into the
+        previous snapshot's arrays (delta-CSR); otherwise the full edge
+        list is rebuilt through the vectorized
+        :meth:`~repro.graph.builder.GraphBuilder.add_edges` path. Both
+        paths yield byte-identical graphs; ``last_freeze`` records which
+        one ran. The frozen graph becomes the new base the overlay
+        deltas against (the edit log is left for :meth:`drain_events`).
+        """
+        if self._p_src.size == 0:
+            self.last_freeze = {
+                "mode": "clean",
+                "dirty_rows": 0,
+                "dirty_fraction": 0.0,
+                "pending": 0,
+            }
+            base = self._base_graph
+            if base is not None and (not name or name == base.name):
+                return base
+            if base is not None:
+                graph = Graph(
+                    base.indptr,
+                    base.indices,
+                    base.weights,
+                    name,
+                    dtype_policy=self.dtype_policy,
+                )
+            else:
+                graph = GraphBuilder(
+                    self.n, dtype_policy=self.dtype_policy
+                ).build(name=name)
+            self._install_base(graph)
+            return graph
+
+        dirty = np.unique(self._p_src)
+        dirty_fraction = float(dirty.size) / float(max(1, self.n))
+        use_delta = (
+            self._bi.size > 0 and dirty_fraction <= self.delta_threshold
+        )
+        if use_delta:
+            graph = self._freeze_delta(name, dirty)
+        else:
+            graph = self._freeze_full(name)
+        self.last_freeze = {
+            "mode": "delta" if use_delta else "full",
+            "dirty_rows": int(dirty.size),
+            "dirty_fraction": dirty_fraction,
+            "pending": int(self._p_src.size),
+        }
+        self._install_base(graph)
+        self._p_src = np.empty(0, dtype=np.int64)
+        self._p_dst = np.empty(0, dtype=np.int64)
+        self._p_w = np.empty(0, dtype=np.float64)
+        self._p_live = np.empty(0, dtype=bool)
+        return graph
+
+    def _freeze_full(self, name: str) -> Graph:
+        """Full rebuild: one bulk ``add_edges`` over the live edge list."""
+        noe = self._base_noe()
+        canon = noe <= self._bi  # one canonical entry per base edge
+        b_us, b_vs, b_ws = self._bi[canon], noe[canon], self._bw[canon]
+        # Drop base edges the overlay touched (their current state — live
+        # or deleted — comes from the overlay instead).
+        _, _, over = self._lookup_pending(b_vs, b_us)
+        keep = ~over
+        pc = (self._p_src <= self._p_dst) & self._p_live
+        builder = GraphBuilder(self.n, dtype_policy=self.dtype_policy)
+        builder.add_edges(
+            np.concatenate([b_vs[keep], self._p_src[pc]]),
+            np.concatenate([b_us[keep], self._p_dst[pc]]),
+            np.concatenate([b_ws[keep], self._p_w[pc]]),
+        )
         return builder.build(name=name)
 
+    def _freeze_delta(self, name: str, dirty: np.ndarray) -> Graph:
+        """Delta-CSR rebuild: splice merged dirty rows into the base arrays."""
+        n = self.n
+        starts, stops = self._bp[dirty], self._bp[dirty + 1]
+        lens = stops - starts
+        tot = int(lens.sum())
+        offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        idx = np.arange(tot, dtype=np.int64) + np.repeat(starts - offsets, lens)
+        b_rows = np.repeat(dirty, lens)
+        b_dst = self._bi[idx]
+        # Base entries the overlay overrides drop out of the merged rows.
+        _, _, over = self._lookup_pending(b_rows, b_dst)
+        keep = ~over
+        pl = self._p_live
+        m_rows = np.concatenate([b_rows[keep], self._p_src[pl]])
+        m_dst = np.concatenate([b_dst[keep], self._p_dst[pl]])
+        m_w = np.concatenate([self._bw[idx][keep], self._p_w[pl]])
+        order = self._sort_pairs(m_rows, m_dst)
+        m_rows, m_dst, m_w = m_rows[order], m_dst[order], m_w[order]
+
+        ridx = np.searchsorted(dirty, m_rows)
+        cnt = np.bincount(ridx, minlength=dirty.size)
+        new_deg = np.diff(self._bp)
+        new_deg[dirty] = cnt
+        new_indptr = np.empty(n + 1, dtype=np.int64)
+        new_indptr[0] = 0
+        np.cumsum(new_deg, out=new_indptr[1:])
+        out_dst = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        out_w = np.empty(out_dst.size, dtype=np.float64)
+        # Clean rows form contiguous segments between consecutive dirty
+        # rows, and the splice shift is constant within a segment — so
+        # each segment moves as one slice copy (memcpy speed) instead of
+        # an O(E) per-entry scatter.
+        bounds = np.concatenate((np.int64([-1]), dirty, np.int64([n])))
+        for i in range(dirty.size + 1):
+            a = int(bounds[i]) + 1  # first clean row of the segment
+            b = int(bounds[i + 1])  # the next dirty row (or n)
+            if a >= b:
+                continue
+            s0, s1 = int(self._bp[a]), int(self._bp[b])
+            if s0 == s1:
+                continue
+            d0 = int(new_indptr[a])
+            out_dst[d0 : d0 + s1 - s0] = self._bi[s0:s1]
+            out_w[d0 : d0 + s1 - s0] = self._bw[s0:s1]
+        # Dirty rows: scatter the merged entries by within-row rank.
+        row_first = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+        rank = np.arange(m_rows.size, dtype=np.int64) - row_first[ridx]
+        dest = new_indptr[m_rows] + rank
+        out_dst[dest] = m_dst
+        out_w[dest] = m_w
+        return Graph(
+            new_indptr, out_dst, out_w, name, dtype_policy=self.dtype_policy
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<DynamicGraph n={self.n} m={self._m} w={self._total_weight:g}>"
+        return f"<DynamicGraph n={self.n} m={self._m} w={self._total:g}>"

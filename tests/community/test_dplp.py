@@ -93,3 +93,86 @@ class TestIncrementalQuality:
         result = dplp.update(new_graph, events)
         assert result.info["events"] == len(events)
         assert result.info["seeds"] >= 1
+
+    def test_deletion_only_batch(self, planted_dynamic):
+        graph, truth = planted_dynamic
+        dplp = DynamicPLP(threads=8, seed=5)
+        dplp.run(graph)
+        new_graph, events = self._edit(graph, truth, n_add=0, n_remove=40, seed=5)
+        assert all(e.kind == "remove" for e in events)
+        result = dplp.update(new_graph, events)
+        assert modularity(new_graph, result.partition) > 0.4
+        assert jaccard_index(result.labels, truth) > 0.8
+
+    def test_mixed_vectorized_batch(self, planted_dynamic):
+        # Events arriving as one column-wise apply_events batch, not
+        # scalar edits: the drained EventBatch drives update directly.
+        graph, truth = planted_dynamic
+        dplp = DynamicPLP(threads=8, seed=6)
+        dplp.run(graph)
+        rng = np.random.default_rng(6)
+        us0, vs0, _ = graph.edge_array()
+        members = np.flatnonzero(truth == 0)
+        au = rng.choice(members, size=25)
+        av = rng.choice(members, size=25)
+        keep = au != av
+        pick = rng.choice(us0.size, size=15, replace=False)
+        dyn = DynamicGraph.from_graph(graph)
+        dyn.apply_events(
+            np.concatenate([au[keep], us0[pick]]),
+            np.concatenate([av[keep], vs0[pick]]),
+            kinds=np.concatenate(
+                [np.zeros(int(keep.sum()), np.uint8), np.ones(15, np.uint8)]
+            ),
+        )
+        events = dyn.drain_events()
+        result = dplp.update(dyn.freeze(), events)
+        assert result.info["events"] == len(events)
+        assert modularity(dyn.freeze(), result.partition) > 0.4
+
+
+def _clique_bars(k=4, s=12):
+    """``k`` disjoint ``s``-cliques — components PLP labels uniformly."""
+    dyn = DynamicGraph(k * s)
+    for c in range(k):
+        base = c * s
+        for i in range(s):
+            for j in range(i + 1, s):
+                dyn.add_edge(base + i, base + j)
+    dyn.drain_events()
+    return dyn
+
+
+def _canon(labels):
+    """First-occurrence canonical renaming (partition comparison)."""
+    seen = {}
+    return np.array([seen.setdefault(int(l), len(seen)) for l in labels])
+
+
+class TestActiveRegion:
+    def test_untouched_region_is_bit_exact(self):
+        # Events confined to one component: every label outside the
+        # seeded neighborhoods must be untouched *exactly* — the active
+        # region is event-seeded, not global.
+        dyn = _clique_bars()
+        graph = dyn.freeze()
+        dplp = DynamicPLP(threads=4, seed=7)
+        before = dplp.run(graph).labels.copy()
+        dyn.remove_edge(0, 1)
+        dyn.add_edge(2, 5, 3.0)
+        result = dplp.update(dyn.freeze(), dyn.drain_events())
+        outside = np.arange(12, 48)
+        assert np.array_equal(result.labels[outside], before[outside])
+
+    def test_agrees_with_scratch_plp_up_to_renaming(self):
+        dyn = _clique_bars()
+        dplp = DynamicPLP(threads=4, seed=8)
+        dplp.run(dyn.freeze())
+        dyn.add_edge(3, 7, 2.0)
+        dyn.remove_edge(20, 21)
+        new_graph = dyn.freeze()
+        incremental = dplp.update(new_graph, dyn.drain_events())
+        scratch = PLP(threads=4, seed=8).run(new_graph)
+        assert np.array_equal(
+            _canon(incremental.labels), _canon(scratch.labels)
+        )

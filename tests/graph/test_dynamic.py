@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.graph import DynamicGraph, generators
+from repro.graph import DynamicGraph, EventBatch, GraphEvent, generators
+from repro.graph import dynamic as dynamic_module
+from repro.graph.dynamic import EVENT_ADD, EVENT_REMOVE
 
 
 class TestEditing:
@@ -116,3 +118,212 @@ class TestEventLog:
         dyn.add_edge(1, 2)
         dyn.add_edge(2, 7)
         assert dyn.affected_nodes().tolist() == [1, 2, 7]
+
+    def test_affected_nodes_empty(self):
+        assert DynamicGraph(5).affected_nodes().tolist() == []
+
+    def test_affected_nodes_from_explicit_events(self):
+        dyn = DynamicGraph(10)
+        events = [GraphEvent("add", 4, 9), GraphEvent("add", 4, 2)]
+        assert dyn.affected_nodes(events).tolist() == [2, 4, 9]
+        batch = EventBatch.from_events(events)
+        assert dyn.affected_nodes(batch).tolist() == [2, 4, 9]
+
+
+class TestEventBatch:
+    def test_pack_and_iterate(self):
+        events = [GraphEvent("add", 0, 1, 2.0), GraphEvent("remove", 1, 2, 1.0)]
+        batch = EventBatch.from_events(events)
+        assert len(batch) == 2
+        assert list(batch) == events
+        assert batch[1] == events[1]
+        assert batch == events  # list comparison still works
+
+    def test_passthrough(self):
+        batch = EventBatch.from_events([GraphEvent("add", 0, 1)])
+        assert EventBatch.from_events(batch) is batch
+
+    def test_endpoints_sorted_unique(self):
+        batch = EventBatch.from_events(
+            [GraphEvent("add", 7, 3), GraphEvent("add", 3, 1)]
+        )
+        assert batch.endpoints().tolist() == [1, 3, 7]
+
+    def test_empty(self):
+        assert len(EventBatch.empty()) == 0
+        assert EventBatch.empty() == []
+
+    def test_misaligned_columns_rejected(self):
+        z = np.zeros(2, np.int64)
+        with pytest.raises(ValueError):
+            EventBatch(z, np.zeros(3, np.int64), np.zeros(2), np.zeros(2, np.uint8))
+
+    def test_bad_kind_code_rejected(self):
+        z = np.zeros(1, np.int64)
+        with pytest.raises(ValueError):
+            EventBatch(z, z, np.zeros(1), np.array([7], np.uint8))
+
+
+class TestApplyEvents:
+    def test_batch_matches_scalar_sequence(self):
+        g = generators.erdos_renyi(40, 0.15, seed=3)
+        us0, vs0, _ = g.edge_array()
+        batched = DynamicGraph.from_graph(g)
+        scalar = DynamicGraph.from_graph(g)
+        us = np.array([0, 5, int(us0[0]), int(us0[1])], np.int64)
+        vs = np.array([1, 9, int(vs0[0]), int(vs0[1])], np.int64)
+        ws = np.array([2.0, 1.5, 1.0, 1.0])
+        kinds = np.array([EVENT_ADD, EVENT_ADD, EVENT_REMOVE, EVENT_REMOVE], np.uint8)
+        batched.apply_events(us, vs, ws, kinds)
+        scalar.add_edge(0, 1, 2.0)
+        scalar.add_edge(5, 9, 1.5)
+        scalar.remove_edge(int(us0[0]), int(vs0[0]))
+        scalar.remove_edge(int(us0[1]), int(vs0[1]))
+        assert batched.m == scalar.m
+        assert batched.total_edge_weight == pytest.approx(scalar.total_edge_weight)
+        assert batched.freeze() == scalar.freeze()
+
+    def test_string_kinds(self):
+        dyn = DynamicGraph(4)
+        dyn.apply_events([0, 0], [1, 2], kinds=["add", "add"])
+        dyn.apply_events([0], [1], kinds=["remove"])
+        assert not dyn.has_edge(0, 1)
+        assert dyn.has_edge(0, 2)
+
+    def test_same_pair_replayed_in_order(self):
+        dyn = DynamicGraph(3)
+        # add, remove, add on the same pair in one batch
+        dyn.apply_events(
+            [0, 1, 0],
+            [1, 0, 1],
+            np.array([2.0, 1.0, 5.0]),
+            np.array([EVENT_ADD, EVENT_REMOVE, EVENT_ADD], np.uint8),
+        )
+        assert dyn.m == 1
+        assert dyn.weight(0, 1) == 5.0
+        events = dyn.drain_events()
+        assert events.ws.tolist() == [2.0, 2.0, 5.0]  # removal logs removed w
+
+    def test_atomic_on_missing_removal(self):
+        dyn = DynamicGraph(4)
+        dyn.add_edge(0, 1)
+        dyn.drain_events()
+        with pytest.raises(KeyError):
+            dyn.apply_events(
+                [0, 2],
+                [1, 3],
+                kinds=np.array([EVENT_ADD, EVENT_REMOVE], np.uint8),
+            )
+        # nothing from the failed batch may be visible
+        assert dyn.m == 1
+        assert dyn.weight(0, 1) == 1.0
+        assert len(dyn.drain_events()) == 0
+
+    def test_removal_logs_removed_weight(self):
+        dyn = DynamicGraph(3)
+        dyn.add_edge(0, 1, 2.5)
+        dyn.drain_events()
+        dyn.apply_events([1], [0], kinds=[EVENT_REMOVE])
+        events = dyn.drain_events()
+        assert events.ws.tolist() == [2.5]
+
+    def test_misaligned_inputs_rejected(self):
+        dyn = DynamicGraph(4)
+        with pytest.raises(ValueError):
+            dyn.apply_events([0, 1], [1])
+        with pytest.raises(ValueError):
+            dyn.apply_events([0, 1], [1, 2], ws=[1.0])
+        with pytest.raises(IndexError):
+            dyn.apply_events([0], [99])
+        with pytest.raises(ValueError):
+            dyn.apply_events([0], [1], ws=[-1.0])
+
+
+def _churn(graph, n_events, seed):
+    """A mixed add/remove batch touching a small set of rows."""
+    rng = np.random.default_rng(seed)
+    us0, vs0, _ = graph.edge_array()
+    n_rem = n_events // 2
+    pick = rng.choice(us0.size, size=n_rem, replace=False)
+    ei = rng.integers(0, us0.size, size=n_events - n_rem)
+    ej = rng.integers(0, us0.size, size=n_events - n_rem)
+    au, av = us0[ei], vs0[ej]
+    keep = au != av
+    us = np.concatenate([au[keep], us0[pick]])
+    vs = np.concatenate([av[keep], vs0[pick]])
+    kinds = np.concatenate(
+        [
+            np.full(int(keep.sum()), EVENT_ADD, np.uint8),
+            np.full(n_rem, EVENT_REMOVE, np.uint8),
+        ]
+    )
+    return us, vs, np.ones(us.size), kinds
+
+
+class TestDeltaFreeze:
+    @pytest.mark.parametrize("policy", ["wide", "lean"])
+    def test_delta_byte_identical_to_full(self, policy):
+        g, _ = generators.planted_partition(
+            300, 6, 0.1, 0.01, seed=9, dtype_policy=policy
+        )
+        us, vs, ws, kinds = _churn(g, 40, seed=5)
+        delta = DynamicGraph.from_graph(g, delta_threshold=1.0)
+        full = DynamicGraph.from_graph(g, delta_threshold=-1.0)
+        delta.apply_events(us, vs, ws, kinds)
+        full.apply_events(us, vs, ws, kinds)
+        gd, gf = delta.freeze(), full.freeze()
+        assert delta.last_freeze["mode"] == "delta"
+        assert full.last_freeze["mode"] == "full"
+        assert gd.indptr.dtype == gf.indptr.dtype
+        assert gd.indices.dtype == gf.indices.dtype
+        assert gd.weights.dtype == gf.weights.dtype
+        assert np.array_equal(gd.indptr, gf.indptr)
+        assert np.array_equal(gd.indices, gf.indices)
+        assert np.array_equal(gd.weights, gf.weights)
+
+    def test_last_freeze_stats(self):
+        g = generators.erdos_renyi(100, 0.05, seed=4)
+        dyn = DynamicGraph.from_graph(g)
+        assert dyn.last_freeze is None
+        dyn.add_edge(0, 1, 2.0)
+        dyn.freeze()
+        stats = dyn.last_freeze
+        assert stats["mode"] == "delta"
+        assert stats["dirty_rows"] == 2
+        assert stats["dirty_fraction"] == pytest.approx(0.02)
+        dyn.freeze()
+        assert dyn.last_freeze["mode"] == "clean"
+
+    def test_threshold_triggers_full_rebuild(self):
+        g = generators.ring(10)
+        dyn = DynamicGraph.from_graph(g, delta_threshold=0.05)
+        dyn.add_edge(0, 5)
+        dyn.freeze()
+        assert dyn.last_freeze["mode"] == "full"
+
+    def test_freeze_then_more_edits(self):
+        g = generators.erdos_renyi(50, 0.1, seed=6)
+        dyn = DynamicGraph.from_graph(g)
+        dyn.add_edge(0, 1, 3.0)
+        first = dyn.freeze()
+        dyn.remove_edge(0, 1)
+        second = dyn.freeze()
+        assert first.has_edge(0, 1)
+        assert not second.has_edge(0, 1)
+        assert second.m == first.m - 1
+
+    def test_unfused_fallback_paths(self, monkeypatch):
+        # Shrinking the fused-key bound exercises lexsort + per-row probes.
+        g = generators.erdos_renyi(60, 0.1, seed=7)
+        us, vs, ws, kinds = _churn(g, 20, seed=8)
+        monkeypatch.setattr(dynamic_module, "FUSED_NODE_MAX", 0)
+        slow = DynamicGraph.from_graph(g, delta_threshold=1.0)
+        slow.apply_events(us, vs, ws, kinds)
+        assert not slow._fused
+        g_slow = slow.freeze()
+        monkeypatch.undo()
+        fast = DynamicGraph.from_graph(g, delta_threshold=1.0)
+        fast.apply_events(us, vs, ws, kinds)
+        assert fast._fused
+        assert g_slow == fast.freeze()
+        assert slow.m == fast.m
